@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure and *prints the same
+rows/series the paper reports* (run with ``-s`` to see them), then makes
+shape assertions: who wins, by roughly what factor, where crossovers fall.
+Absolute numbers are not expected to match the authors' testbed.
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print one reproduced artifact in a recognizable block."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

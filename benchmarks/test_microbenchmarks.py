@@ -1,0 +1,96 @@
+"""Microbenchmarks of the hot code paths (classic pytest-benchmark).
+
+These do not map to a paper figure; they document the simulator's own
+performance so regressions in the substrate are visible.
+"""
+
+import random
+
+from repro.cache.llc import LastLevelCache
+from repro.core.arcc import ARCCMemorySystem
+from repro.dram.system import MemorySystem
+from repro.config import ARCC_MEMORY_CONFIG
+from repro.ecc.chipkill import make_relaxed_codec, make_upgraded_codec
+from repro.ecc.reed_solomon import ReedSolomonCode
+
+
+def test_bench_rs_encode(benchmark):
+    rs = ReedSolomonCode(36, 32)
+    msg = list(range(32))
+    benchmark(rs.encode, msg)
+
+
+def test_bench_rs_decode_clean(benchmark):
+    rs = ReedSolomonCode(36, 32)
+    cw = rs.encode(list(range(32)))
+    benchmark(rs.decode, cw)
+
+
+def test_bench_rs_decode_one_error(benchmark):
+    rs = ReedSolomonCode(36, 32)
+    cw = rs.encode(list(range(32)))
+    rx = list(cw)
+    rx[7] ^= 0x5A
+    result = benchmark(rs.decode, rx, (), 1)
+    assert result.ok
+
+
+def test_bench_relaxed_line_roundtrip(benchmark):
+    codec = make_relaxed_codec()
+    data = bytes(range(64))
+
+    def roundtrip():
+        return codec.decode_line(codec.encode_line(data))
+
+    assert benchmark(roundtrip).ok
+
+
+def test_bench_upgraded_line_roundtrip(benchmark):
+    codec = make_upgraded_codec()
+    data = bytes(i % 256 for i in range(128))
+
+    def roundtrip():
+        return codec.decode_line(codec.encode_line(data))
+
+    assert benchmark(roundtrip).ok
+
+
+def test_bench_llc_access_stream(benchmark):
+    rng = random.Random(0)
+    addresses = [rng.randrange(1 << 16) for _ in range(2000)]
+
+    def stream():
+        llc = LastLevelCache(sets=1024, ways=16)
+        for addr in addresses:
+            llc.access(addr, False)
+        return llc.stats.accesses
+
+    assert benchmark(stream) == 2000
+
+
+def test_bench_dram_timing_channel(benchmark):
+    rng = random.Random(1)
+    lines = [rng.randrange(1 << 20) for _ in range(2000)]
+
+    def stream():
+        ms = MemorySystem(ARCC_MEMORY_CONFIG)
+        now = 0.0
+        for line in lines:
+            now += 30.0
+            ms.access(line, False, now)
+        return ms.stats.requests
+
+    assert benchmark(stream) == 2000
+
+
+def test_bench_arcc_scrub_pass(benchmark):
+    memory = ARCCMemorySystem(pages=2, seed=0)
+    memory.boot()
+    for line in range(0, 128, 4):
+        memory.write_line(line, bytes(64))
+
+    def scrub():
+        report, _ = memory.scrub()
+        return report.pages_scrubbed
+
+    assert benchmark.pedantic(scrub, rounds=1, iterations=1) == 2

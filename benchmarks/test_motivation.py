@@ -1,0 +1,106 @@
+"""Chapter 1/3 motivation claims, quantified.
+
+* Chipkill vs SECDED: field studies report 4x-36x fewer uncorrectable
+  errors under chipkill — our DUE models must land in/above that band.
+* Scrub cost in context: ARCC's six-pass scrub (0.0167% of bandwidth)
+  next to the ~1.3% every DRAM already pays for refresh.
+* Scrub batching (Section 4.2.2's optional optimization): bus
+  turnarounds drop by the batch factor with identical detection.
+"""
+
+from conftest import emit
+
+from repro.config import ARCC_MEMORY_CONFIG
+from repro.core.modes import ProtectionMode
+from repro.core.page_table import PageTable
+from repro.core.scrubber import Scrubber, scrub_bandwidth_overhead
+from repro.core.storage import ArccStorage, codec_for_mode
+from repro.dram.refresh import RefreshModel
+from repro.dram.timing import MICRON_512MB_X4
+from repro.faults.types import FaultType
+from repro.reliability.analytical import ReliabilityParams
+from repro.reliability.due import (
+    chipkill_vs_secded_due_factor,
+    due_rate_sccdcd,
+    due_rate_secded,
+)
+from repro.util.tables import format_table
+from repro.util.units import GB
+
+
+def test_chipkill_vs_secded_due(once):
+    def sweep():
+        rows = []
+        for mult in (1.0, 2.0, 4.0):
+            params = ReliabilityParams(rate_multiplier=mult)
+            secded = due_rate_secded(params)
+            chipkill = due_rate_sccdcd(params)
+            rows.append(
+                [
+                    f"{mult:g}x",
+                    f"{secded:.3e}",
+                    f"{chipkill:.3e}",
+                    f"{secded / chipkill:.0f}x",
+                ]
+            )
+        return rows
+
+    rows = once(sweep)
+    emit(
+        "Chapter 1: chipkill vs SECDED DUE rates (/channel-hour)",
+        format_table(["Rate", "SECDED", "SCCDCD", "Reduction"], rows),
+    )
+    factor = chipkill_vs_secded_due_factor(ReliabilityParams())
+    # Field studies: 4x [1] to 36x [2]; the model must clear the band's
+    # low end (it lands far above — persistent-fault pairing is rare).
+    assert factor >= 4.0
+
+
+def test_scrub_cost_in_refresh_context(once):
+    def compute():
+        scrub = scrub_bandwidth_overhead(4 * GB)
+        refresh = RefreshModel(MICRON_512MB_X4).bandwidth_overhead
+        return scrub, refresh
+
+    scrub, refresh = once(compute)
+    emit(
+        "Section 4.2.2: scrub bandwidth in context",
+        format_table(
+            ["Mechanism", "Bandwidth overhead"],
+            [
+                ["ARCC six-pass scrub (4h)", f"{scrub:.5%}"],
+                ["DDR2 refresh (always on)", f"{refresh:.3%}"],
+            ],
+        ),
+    )
+    assert scrub < 0.001  # the paper's 0.0167% claim, with margin
+    assert scrub < refresh / 10  # negligible next to refresh
+
+
+def test_scrub_batching_reduces_turnarounds(once):
+    def run(batch):
+        storage = ArccStorage(ARCC_MEMORY_CONFIG, pages=2)
+        pt = PageTable(2, initial_mode=ProtectionMode.RELAXED)
+        codec = codec_for_mode(ProtectionMode.RELAXED)
+        for line in range(storage.total_lines):
+            storage.write_codewords(
+                line, ProtectionMode.RELAXED, codec.encode_line(bytes(64))
+            )
+        storage.devices[0][0][3].inject_device_fault(stuck_value=0xAA)
+        scrubber = Scrubber(storage, pt, batch_lines=batch)
+        report = scrubber.scrub()
+        return scrubber.bus_turnarounds, len(report.faulty_pages)
+
+    def compare():
+        return run(1), run(16)
+
+    (turn_1, faulty_1), (turn_16, faulty_16) = once(compare)
+    emit(
+        "Section 4.2.2: scrub batching",
+        format_table(
+            ["Batch", "Bus turnarounds", "Faulty pages found"],
+            [["1 line", turn_1, faulty_1], ["16 lines", turn_16, faulty_16]],
+        ),
+    )
+    assert turn_16 * 8 <= turn_1  # at least 8x fewer turnarounds
+    assert faulty_1 == faulty_16  # identical detection

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+This is the library's end-to-end demonstration: Tables 7.1-7.4 from the
+live configs, Figure 3.1 (faulty memory vs time), Figure 6.1 (SDC rates),
+Figure 7.1 (fault-free power/performance), Figures 7.2/7.3 (single-fault
+power/performance), Figures 7.4/7.5 (lifetime overheads) and Figure 7.6
+(ARCC+LOT-ECC). Expect a few minutes at default scale; pass ``--quick``
+for a reduced-size pass.
+
+Run:  python examples/full_reproduction.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    render_table_7_1,
+    render_table_7_2,
+    render_table_7_3,
+    render_table_7_4,
+    run_fig3_1,
+    run_fig6_1,
+    run_fig7_1,
+    run_fig7_2_7_3,
+    run_fig7_4_7_5,
+    run_fig7_6,
+)
+from repro.experiments.fig7_4_7_5 import measured_overheads
+from repro.workloads.spec import ALL_MIXES
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    channels = 500 if quick else 2000
+    instructions = 20_000 if quick else 40_000
+    mixes = ALL_MIXES[:4] if quick else ALL_MIXES
+
+    started = time.time()
+    sections = [
+        render_table_7_1(),
+        render_table_7_2(),
+        render_table_7_3(),
+        render_table_7_4(),
+    ]
+    for section in sections:
+        print(section)
+        print()
+
+    print(run_fig3_1(channels=channels).to_table())
+    print()
+    print(run_fig6_1(monte_carlo_channels=0 if quick else 2000).to_table())
+    print()
+    print(
+        run_fig7_1(
+            mixes=mixes, instructions_per_core=instructions
+        ).to_table()
+    )
+    print()
+    overheads_result = run_fig7_2_7_3(
+        mixes=mixes[:3], instructions_per_core=instructions
+    )
+    print(overheads_result.to_table())
+    print()
+    per_fault = {
+        ft: (
+            overheads_result.average_power_ratio(ft),
+            overheads_result.average_performance_ratio(ft),
+        )
+        for ft in overheads_result.fault_types
+    }
+    print(
+        run_fig7_4_7_5(channels=channels, overheads=per_fault).to_table()
+    )
+    print()
+    print(run_fig7_6(channels=channels).to_table())
+    print()
+    print(f"full reproduction finished in {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: an ARCC memory in ten steps.
+
+Creates a small functional ARCC memory system, stores data through real
+Reed-Solomon codewords, injects a device failure from the field-study
+taxonomy, lets the enhanced scrubber find it, and watches the affected
+pages upgrade from the relaxed 18-device mode to the strong 36-device
+mode — while the data survives the whole ordeal.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+
+from repro.core.arcc import ARCCMemorySystem
+from repro.core.modes import ProtectionMode
+from repro.faults.types import FaultType
+
+
+def main() -> None:
+    # 1. Build a memory of 8 physical 4 KB pages (512 cachelines).
+    memory = ARCCMemorySystem(pages=8, seed=2013)
+
+    # 2. Boot: pages start upgraded, the initial scrub relaxes the clean
+    #    ones (Section 4.2.1 of the paper).
+    report = memory.boot()
+    print(f"boot scrub clean: {report.clean}")
+    print(f"fraction upgraded after boot: {memory.fraction_upgraded():.0%}")
+
+    # 3. Write recognizable data through the relaxed RS(18,16) codewords.
+    lines = {}
+    for line in range(0, 128, 5):
+        payload = bytes((line * 7 + i) % 256 for i in range(64))
+        memory.write_line(line, payload)
+        lines[line] = payload
+    print(f"wrote {len(lines)} lines; "
+          f"devices per access: {memory.stats.devices_per_access:.0f}")
+
+    # 4. Reads come back verbatim.
+    data, result = memory.read_line(5)
+    assert data == lines[5] and result.status.name == "NO_ERROR"
+
+    # 5. A whole DRAM device fails (stuck output) — one symbol per
+    #    codeword corrupts, which chipkill is built to survive.
+    memory.inject_fault(FaultType.DEVICE, channel=0, rank=0, device=4)
+
+    # 6. Demand reads now correct on the fly.
+    data, result = memory.read_line(0)
+    print(f"read under device fault: {result.status.name}, intact: "
+          f"{data == lines[0]}")
+
+    # 7. The scrubber probes with all-0s/all-1s patterns and finds every
+    #    page touched by the bad device...
+    scrub_report, upgrades = memory.scrub()
+    print(f"scrub found {len(scrub_report.faulty_pages)} faulty pages; "
+          f"{len(upgrades)} upgraded")
+
+    # 8. ...and those pages now run the 4-check-symbol upgraded mode.
+    print(f"page 0 mode: {memory.mode_of_page(0).value}; "
+          f"fraction upgraded: {memory.fraction_upgraded():.0%}")
+
+    # 9. Data is still intact, now behind the stronger code.
+    survived = all(
+        memory.read_line(line)[0] == payload
+        for line, payload in lines.items()
+    )
+    print(f"all data survived the upgrade: {survived}")
+
+    # 10. The cost: upgraded reads touch 36 devices instead of 18 — the
+    #     power/reliability trade ARCC makes page by page, only where
+    #     faults actually are.
+    before = memory.stats.device_accesses
+    memory.read_line(0)
+    print(f"devices touched by an upgraded read: "
+          f"{memory.stats.device_accesses - before}")
+    print(f"silent corruptions observed: {memory.stats.sdc_reads}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+Offline environments cannot run PEP 517 build isolation (it downloads
+setuptools); keeping a ``setup.py`` and omitting ``[build-system]`` from
+pyproject.toml lets ``pip install -e . --no-build-isolation`` (or the
+legacy ``python setup.py develop``) work without network access. All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

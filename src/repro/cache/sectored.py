@@ -1,0 +1,125 @@
+"""Sectored-cache alternative (Rothman & Smith), for the ablation study.
+
+Section 4.2.3 considers and rejects a sectored LLC: 128B sectors with
+per-64B validity handle upgraded lines trivially, but under low spatial
+locality half of every sector sits invalid, degrading effective capacity.
+This model exists so ``benchmarks/test_ablations.py`` can quantify that
+trade-off against the paper's paired-64B design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cache.llc import AccessOutcome, CacheStats, Writeback
+
+
+@dataclass
+class _Sector:
+    sector_address: int  # line_address >> 1
+    valid: List[bool]
+    dirty: List[bool]
+    upgraded: bool
+    recency: int
+
+
+class SectoredCache:
+    """Set-associative cache of 128B sectors with two 64B sub-blocks."""
+
+    def __init__(self, sets: int, ways: int):
+        if sets < 1 or ways < 1:
+            raise ValueError("sets and ways must be positive")
+        self.sets = sets
+        self.ways = ways
+        self._sets: List[List[_Sector]] = [[] for _ in range(sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def _find(self, sector_address: int) -> Optional[_Sector]:
+        for sector in self._sets[sector_address % self.sets]:
+            if sector.sector_address == sector_address:
+                return sector
+        return None
+
+    def contains(self, line_address: int) -> bool:
+        """True when the 64B line is resident and valid."""
+        sector = self._find(line_address >> 1)
+        return bool(sector and sector.valid[line_address & 1])
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _evict(self, set_index: int) -> List[Writeback]:
+        ways = self._sets[set_index]
+        victim = min(ways, key=lambda s: s.recency)
+        ways.remove(victim)
+        writebacks: List[Writeback] = []
+        if victim.upgraded and any(victim.dirty):
+            writebacks.append(
+                Writeback(victim.sector_address << 1, upgraded=True)
+            )
+            self.stats.paired_writebacks += 1
+            self.stats.writebacks += 1
+        else:
+            for half in range(2):
+                if victim.valid[half] and victim.dirty[half]:
+                    writebacks.append(
+                        Writeback(
+                            (victim.sector_address << 1) | half,
+                            upgraded=False,
+                        )
+                    )
+                    self.stats.writebacks += 1
+        return writebacks
+
+    def access(
+        self, line_address: int, is_write: bool, upgraded: bool = False
+    ) -> AccessOutcome:
+        """One demand access at 64B granularity."""
+        sector_address = line_address >> 1
+        half = line_address & 1
+        sector = self._find(sector_address)
+        if sector is not None and sector.valid[half]:
+            sector.recency = self._tick()
+            sector.dirty[half] = sector.dirty[half] or is_write
+            sector.upgraded = sector.upgraded or upgraded
+            self.stats.hits += 1
+            return AccessOutcome(hit=True)
+
+        self.stats.misses += 1
+        writebacks: List[Writeback] = []
+        fills: List[int] = [line_address]
+        if sector is None:
+            set_index = sector_address % self.sets
+            while len(self._sets[set_index]) >= self.ways:
+                writebacks.extend(self._evict(set_index))
+            sector = _Sector(
+                sector_address=sector_address,
+                valid=[False, False],
+                dirty=[False, False],
+                upgraded=upgraded,
+                recency=self._tick(),
+            )
+            self._sets[set_index].append(sector)
+        sector.valid[half] = True
+        sector.dirty[half] = is_write
+        sector.recency = self._tick()
+        sector.upgraded = sector.upgraded or upgraded
+        if upgraded and not sector.valid[1 - half]:
+            sector.valid[1 - half] = True
+            sector.dirty[1 - half] = False
+            fills.append(line_address ^ 1)
+        return AccessOutcome(
+            hit=False, fills=tuple(fills), writebacks=tuple(writebacks)
+        )
+
+    @property
+    def resident_lines(self) -> int:
+        """Valid 64B lines currently held (capacity-degradation metric)."""
+        return sum(
+            sum(sector.valid)
+            for ways in self._sets
+            for sector in ways
+        )

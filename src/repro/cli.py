@@ -1,0 +1,163 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro tables                # Tables 7.1-7.4
+    python -m repro fig3.1 [--channels N] [--years Y]
+    python -m repro fig6.1 [--mc-channels N]
+    python -m repro fig7.1 [--instructions N] [--mixes K]
+    python -m repro fig7.2 [--instructions N] [--mixes K]
+    python -m repro fig7.4 [--channels N]
+    python -m repro fig7.6 [--channels N]
+    python -m repro all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    render_table_7_1,
+    render_table_7_2,
+    render_table_7_3,
+    render_table_7_4,
+    run_fig3_1,
+    run_fig6_1,
+    run_fig7_1,
+    run_fig7_2_7_3,
+    run_fig7_4_7_5,
+    run_fig7_6,
+)
+from repro.workloads.spec import ALL_MIXES
+
+
+def _cmd_tables(_: argparse.Namespace) -> None:
+    for render in (
+        render_table_7_1,
+        render_table_7_2,
+        render_table_7_3,
+        render_table_7_4,
+    ):
+        print(render())
+        print()
+
+
+def _cmd_fig3_1(args: argparse.Namespace) -> None:
+    print(run_fig3_1(years=args.years, channels=args.channels).to_table())
+
+
+def _cmd_fig6_1(args: argparse.Namespace) -> None:
+    print(
+        run_fig6_1(monte_carlo_channels=args.mc_channels).to_table()
+    )
+
+
+def _cmd_fig7_1(args: argparse.Namespace) -> None:
+    print(
+        run_fig7_1(
+            mixes=ALL_MIXES[: args.mixes],
+            instructions_per_core=args.instructions,
+        ).to_table()
+    )
+
+
+def _cmd_fig7_2(args: argparse.Namespace) -> None:
+    print(
+        run_fig7_2_7_3(
+            mixes=ALL_MIXES[: args.mixes],
+            instructions_per_core=args.instructions,
+        ).to_table()
+    )
+
+
+def _cmd_fig7_4(args: argparse.Namespace) -> None:
+    print(run_fig7_4_7_5(channels=args.channels).to_table())
+
+
+def _cmd_fig7_6(args: argparse.Namespace) -> None:
+    print(run_fig7_6(channels=args.channels).to_table())
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    quick = args.quick
+    _cmd_tables(args)
+    print(run_fig3_1(channels=500 if quick else 2000).to_table())
+    print()
+    print(run_fig6_1(monte_carlo_channels=0 if quick else 2000).to_table())
+    print()
+    mixes = ALL_MIXES[:4] if quick else ALL_MIXES
+    instructions = 20_000 if quick else 40_000
+    print(
+        run_fig7_1(
+            mixes=mixes, instructions_per_core=instructions
+        ).to_table()
+    )
+    print()
+    print(
+        run_fig7_2_7_3(
+            mixes=mixes[:3], instructions_per_core=instructions
+        ).to_table()
+    )
+    print()
+    print(run_fig7_4_7_5(channels=500 if quick else 2000).to_table())
+    print()
+    print(run_fig7_6(channels=500 if quick else 2000).to_table())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate ARCC (HPCA 2013) tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="Tables 7.1-7.4").set_defaults(
+        func=_cmd_tables
+    )
+
+    p = sub.add_parser("fig3.1", help="faulty memory vs time")
+    p.add_argument("--channels", type=int, default=2000)
+    p.add_argument("--years", type=int, default=7)
+    p.set_defaults(func=_cmd_fig3_1)
+
+    p = sub.add_parser("fig6.1", help="SDC rates")
+    p.add_argument("--mc-channels", type=int, default=0)
+    p.set_defaults(func=_cmd_fig6_1)
+
+    p = sub.add_parser("fig7.1", help="fault-free power/performance")
+    p.add_argument("--instructions", type=int, default=40_000)
+    p.add_argument("--mixes", type=int, default=12)
+    p.set_defaults(func=_cmd_fig7_1)
+
+    p = sub.add_parser("fig7.2", help="power/performance with faults")
+    p.add_argument("--instructions", type=int, default=40_000)
+    p.add_argument("--mixes", type=int, default=3)
+    p.set_defaults(func=_cmd_fig7_2)
+
+    p = sub.add_parser("fig7.4", help="lifetime overheads")
+    p.add_argument("--channels", type=int, default=2000)
+    p.set_defaults(func=_cmd_fig7_4)
+
+    p = sub.add_parser("fig7.6", help="ARCC+LOT-ECC")
+    p.add_argument("--channels", type=int, default=2000)
+    p.set_defaults(func=_cmd_fig7_6)
+
+    p = sub.add_parser("all", help="everything")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""ARCCMemorySystem — the functional facade over the whole stack.
+
+This is the object a downstream user instantiates: a memory that stores
+real bytes through real Reed-Solomon codewords on fault-injectable DRAM
+devices, scrubs itself, and adaptively upgrades pages exactly as
+Chapter 4 prescribes:
+
+* pages boot in the upgraded mode; the first scrub relaxes the fault-free
+  ones (Section 4.2.1);
+* reads/writes consult the page-table/TLB mode bit; relaxed accesses touch
+  18 devices, upgraded accesses touch 36 across both channels;
+* the enhanced scrubber (Section 4.2.2) probes for hidden stuck-at faults
+  each period and faulty pages upgrade at scrub end;
+* with ``enable_double_upgrade``, a page already upgraded that shows new
+  faults climbs to the eight-check-symbol mode of Section 5.1.
+
+An oracle shadow copy of every write allows honest SDC accounting: a
+decode that returns wrong bytes without flagging an error is counted as
+silent data corruption, exactly what the Chapter 6 models predict for
+double faults inside one scrub interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ARCC_MEMORY_CONFIG, MemoryConfig
+from repro.core.modes import ProtectionMode
+from repro.core.page_table import PageTable, Tlb
+from repro.core.scrubber import Scrubber, ScrubReport
+from repro.core.storage import ArccStorage, codec_for_mode
+from repro.core.upgrade import UpgradeEngine, UpgradeReport
+from repro.ecc.base import DecodeResult, DecodeStatus
+from repro.faults.injector import FaultInjector
+from repro.faults.types import FaultType
+from repro.util.rng import make_rng
+
+
+@dataclass
+class ARCCStats:
+    """Operational counters of one ARCC memory system."""
+
+    reads: int = 0
+    writes: int = 0
+    device_accesses: int = 0
+    corrected_reads: int = 0
+    due_reads: int = 0
+    sdc_reads: int = 0
+    scrubs: int = 0
+    pages_upgraded: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Demand reads + writes."""
+        return self.reads + self.writes
+
+    @property
+    def devices_per_access(self) -> float:
+        """Average devices touched per demand access (the power proxy)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.device_accesses / self.accesses
+
+
+class ARCCMemorySystem:
+    """Adaptive-reliability chipkill-correct memory (functional model)."""
+
+    def __init__(
+        self,
+        pages: int = 16,
+        config: MemoryConfig = ARCC_MEMORY_CONFIG,
+        seed: int = 0xACC,
+        enable_double_upgrade: bool = False,
+        tlb_entries: int = 64,
+    ):
+        self.config = config
+        self.storage = ArccStorage(config, pages)
+        self.page_table = PageTable(
+            pages, initial_mode=ProtectionMode.UPGRADED
+        )
+        self.tlb = Tlb(self.page_table, entries=tlb_entries)
+        self.scrubber = Scrubber(self.storage, self.page_table)
+        self.upgrader = UpgradeEngine(self.storage, self.page_table, self.tlb)
+        self.injector = FaultInjector(make_rng(seed))
+        self.enable_double_upgrade = enable_double_upgrade
+        self.stats = ARCCStats()
+        self._shadow: Dict[int, bytes] = {}  # oracle: line -> true bytes
+        self._booted = False
+
+    # -- boot protocol (Section 4.2.1) ---------------------------------------
+
+    def boot(self) -> ScrubReport:
+        """Start-up: everything upgraded, then scrub and relax clean pages."""
+        report = self.scrubber.scrub()
+        for page in range(self.page_table.pages):
+            if page not in report.faulty_pages:
+                self.upgrader.relax_page(page)
+        self.tlb.flush()
+        self._booted = True
+        self.stats.scrubs += 1
+        return report
+
+    def _require_boot(self) -> None:
+        if not self._booted:
+            raise RuntimeError("call boot() before accessing memory")
+
+    # -- demand accesses ---------------------------------------------------------
+
+    def _mode_and_base(self, line_address: int) -> Tuple[ProtectionMode, int]:
+        page = self.storage.mapping.page_of(line_address)
+        mode = self.tlb.lookup(page)
+        return mode, self.storage.base_line(line_address, mode)
+
+    def write_line(self, line_address: int, data: bytes) -> None:
+        """Write one 64B line.
+
+        Relaxed pages write 18 devices. Upgraded pages need a
+        read-modify-write of the full logical line so all check symbols
+        stay consistent (the LLC normally hides this by writing back both
+        sub-lines together, Section 4.2.3).
+        """
+        self._require_boot()
+        self.storage.check_line(line_address)
+        if len(data) != self.config.cacheline_bytes:
+            raise ValueError("write_line takes one 64B line")
+        mode, base = self._mode_and_base(line_address)
+        codec = codec_for_mode(mode)
+        if mode.span == 1:
+            payload = data
+        else:
+            current = codec.decode_line(
+                self.storage.read_codewords(base, mode)
+            )
+            self.stats.device_accesses += mode.devices_per_access
+            if current.ok and current.data is not None:
+                buffer = bytearray(current.data)
+            else:
+                buffer = bytearray(mode.line_bytes)
+            offset = (line_address - base) * self.config.cacheline_bytes
+            buffer[offset : offset + len(data)] = data
+            payload = bytes(buffer)
+        self.storage.write_codewords(base, mode, codec.encode_line(payload))
+        self.stats.writes += 1
+        self.stats.device_accesses += mode.devices_per_access
+        self._shadow[line_address] = bytes(data)
+
+    def read_line(self, line_address: int) -> Tuple[bytes, DecodeResult]:
+        """Read one 64B line; returns (bytes, decode result).
+
+        The decode result is upgraded to MISCORRECTED when the oracle
+        shadow disagrees with a decode that claimed success — that is an
+        SDC, and the stats record it.
+        """
+        self._require_boot()
+        self.storage.check_line(line_address)
+        mode, base = self._mode_and_base(line_address)
+        codec = codec_for_mode(mode)
+        result = codec.decode_line(self.storage.read_codewords(base, mode))
+        self.stats.reads += 1
+        self.stats.device_accesses += mode.devices_per_access
+
+        offset = (line_address - base) * self.config.cacheline_bytes
+        if result.ok and result.data is not None:
+            data = result.data[offset : offset + self.config.cacheline_bytes]
+        else:
+            data = bytes(self.config.cacheline_bytes)
+
+        if result.status == DecodeStatus.CORRECTED:
+            self.stats.corrected_reads += 1
+        elif result.status == DecodeStatus.DETECTED_UE:
+            self.stats.due_reads += 1
+
+        expected = self._shadow.get(line_address)
+        if (
+            result.ok
+            and expected is not None
+            and data != expected
+        ):
+            self.stats.sdc_reads += 1
+            result = DecodeResult(
+                status=DecodeStatus.MISCORRECTED,
+                data=result.data,
+                error_positions=result.error_positions,
+                corrected_symbols=result.corrected_symbols,
+                detail="oracle mismatch: silent data corruption",
+            )
+        return data, result
+
+    # -- scrubbing & adaptation ----------------------------------------------------
+
+    def scrub(self) -> Tuple[ScrubReport, Dict[int, UpgradeReport]]:
+        """One scrub period: probe everything, upgrade faulty pages."""
+        self._require_boot()
+        report = self.scrubber.scrub()
+        upgrades: Dict[int, UpgradeReport] = {}
+        for page in sorted(report.faulty_pages):
+            mode = self.page_table.mode_of(page)
+            if mode.is_strongest:
+                continue
+            if (
+                mode == ProtectionMode.UPGRADED
+                and not self.enable_double_upgrade
+            ):
+                continue
+            upgrades[page] = self.upgrader.upgrade_page(page)
+            self.stats.pages_upgraded += 1
+        self.stats.scrubs += 1
+        return report, upgrades
+
+    # -- fault injection --------------------------------------------------------------
+
+    def inject_fault(
+        self,
+        fault_type: FaultType,
+        channel: int = 0,
+        rank: int = 0,
+        device: int = 0,
+    ) -> None:
+        """Install a field-study fault on the live devices."""
+        self.injector.inject(
+            fault_type, self.storage.ranks_of_channel(channel), rank, device
+        )
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def fraction_upgraded(self) -> float:
+        """Fraction of pages above RELAXED."""
+        return self.page_table.fraction_upgraded()
+
+    def mode_of_page(self, page: int) -> ProtectionMode:
+        """Current mode of one page."""
+        return self.page_table.mode_of(page)
+
+    @property
+    def total_lines(self) -> int:
+        """Addressable 64B lines."""
+        return self.storage.total_lines

@@ -1,0 +1,152 @@
+"""Section 5.1 — stronger upgraded modes on top of double chip sparing.
+
+When ARCC runs over double chip sparing, a page already in the upgraded
+mode that develops a *second* bad symbol per codeword can climb again.
+The paper sketches two designs; both are implemented here:
+
+* **Striped design** — join the codewords of four channels into one
+  72-symbol codeword with eight check symbols, giving each codeword four
+  additional spare symbols to remap bad devices into.
+* **Split design** — divide that large codeword into *two* 36-symbol
+  sparing codewords and remap the two known-bad symbols so each half
+  carries exactly one, leaving every half able to absorb yet another
+  future failure.
+
+Because only a tiny fraction of already-faulty memory develops a second
+fault, pages in these modes are vanishingly rare — which is why ARCC can
+offer them at essentially no average power cost (the paper's argument for
+"enabling stronger forms of chipkill correct").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.ecc.base import CodecError, DecodeResult, DecodeStatus
+from repro.ecc.chipkill import ChipkillCodec, make_double_upgraded_codec
+from repro.ecc.sparing import DoubleChipSparing
+
+
+@dataclass
+class StripedUpgrade:
+    """The four-channel, eight-check-symbol design.
+
+    A 256B super-line (four 64B sub-lines, one per channel) encoded as
+    RS(72,64) codewords: distance 9, operated with a correct-2 policy so
+    two unknown bad devices are absorbed and the remaining distance stays
+    as detection margin.
+    """
+
+    def __init__(self) -> None:
+        self.codec: ChipkillCodec = make_double_upgraded_codec()
+
+    def encode(self, data: bytes) -> List[List[int]]:
+        """Encode a 256B super-line."""
+        return self.codec.encode_line(data)
+
+    def decode(
+        self, codewords: Sequence[Sequence[int]], erasures: Sequence[int] = ()
+    ) -> DecodeResult:
+        """Decode with up to two unknown bad devices (or more erasures)."""
+        return self.codec.decode_line(codewords, erasures=erasures)
+
+    @property
+    def devices_per_access(self) -> int:
+        """72 devices across four channels."""
+        return self.codec.devices
+
+
+class SplitUpgrade:
+    """The split design: two 36-symbol sparing codewords per super-line.
+
+    ``bad_devices`` are the two device positions (in 72-device space)
+    known bad when the page entered this mode; the split assigns one to
+    each half and remaps it onto that half's spare immediately, so each
+    half can correct one *additional* unknown failure.
+    """
+
+    HALF_DEVICES = 36
+
+    def __init__(self, bad_devices: Tuple[int, int]):
+        a, b = bad_devices
+        if a == b:
+            raise CodecError("the two bad devices must differ")
+        for d in (a, b):
+            if not 0 <= d < 2 * self.HALF_DEVICES:
+                raise CodecError(f"device {d} out of 72-device range")
+        # Each half is a fresh sparing rank; the known-bad device of each
+        # half is remapped at construction (spare consumed).
+        self.halves = (DoubleChipSparing(), DoubleChipSparing())
+        self.bad_devices = (a, b)
+
+    def _half_of(self, device: int) -> Tuple[int, int]:
+        """(half index, device index within the half)."""
+        return device // self.HALF_DEVICES, device % self.HALF_DEVICES
+
+    def _assignment(self) -> List[Tuple[int, int]]:
+        """Which half handles which bad device.
+
+        If both bad devices fall into the same physical half, the second
+        is logically swapped into the other half's codeword (the paper's
+        "remap the two bad symbols such that they are divided equally").
+        """
+        a, b = self.bad_devices
+        half_a, local_a = self._half_of(a)
+        half_b, local_b = self._half_of(b)
+        if half_a == half_b:
+            # Divide equally: first bad symbol stays, second moves to the
+            # other half's spare-managed position.
+            other = 1 - half_a
+            return [(half_a, local_a), (other, local_b)]
+        return [(half_a, local_a), (half_b, local_b)]
+
+    def encode(self, data: bytes) -> Tuple[List[List[int]], List[List[int]]]:
+        """Encode a 128B line (64B per half) and consume each spare on
+        the known-bad device."""
+        if len(data) != 128:
+            raise CodecError("split design encodes 128B lines")
+        halves_data = (data[:64], data[64:])
+        assignment = self._assignment()
+        out = []
+        for half_index, half in enumerate(self.halves):
+            codewords = half.encode_line(halves_data[half_index])
+            for assigned_half, local in assignment:
+                if assigned_half == half_index and half.spared_device is None:
+                    codewords = half.remap(
+                        min(local, half.spare_device - 1), codewords
+                    )
+            out.append(codewords)
+        return out[0], out[1]
+
+    def decode(
+        self,
+        first: Sequence[Sequence[int]],
+        second: Sequence[Sequence[int]],
+    ) -> DecodeResult:
+        """Decode both halves; line status is the worse of the two."""
+        result = self.halves[0].decode_line(first)
+        return result.merge(self.halves[1].decode_line(second))
+
+    @property
+    def can_absorb_another_failure(self) -> bool:
+        """True when both halves have their known-bad device spared."""
+        return all(h.spared_device is not None for h in self.halves)
+
+
+def second_upgrade_population_fraction(
+    first_upgrade_fraction: float, conditional_second_fault: float = 0.02
+) -> float:
+    """Expected fraction of memory in the *second* upgraded mode.
+
+    The paper's argument: only a tiny fraction of the (already tiny)
+    upgraded population develops a second fault, so multiple upgraded
+    modes cost essentially nothing on average. ``conditional_second_fault``
+    is the probability an upgraded page sees another fault before
+    end-of-life (a few percent, by the Figure 3.1 arithmetic).
+    """
+    if not 0.0 <= first_upgrade_fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if not 0.0 <= conditional_second_fault <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    return first_upgrade_fraction * conditional_second_fault

@@ -1,0 +1,115 @@
+"""The page-upgrade engine (Section 4.1).
+
+Upgrading a page re-encodes its contents at the next protection strength:
+pairs of adjacent 64B lines — which the address map placed on different
+channels — merge into one 128B upgraded line whose codewords carry four
+check symbols instead of two, at the same storage overhead. Only the page
+being upgraded is touched; every line is read (and corrected), recombined,
+re-encoded and written back. The inverse (relaxing) exists for completeness
+and for tests; the paper only ever upgrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.modes import ProtectionMode
+from repro.core.page_table import PageTable, Tlb
+from repro.core.storage import ArccStorage, codec_for_mode
+from repro.ecc.base import DecodeStatus
+
+
+@dataclass
+class UpgradeReport:
+    """Outcome of one page-mode transition."""
+
+    page: int
+    old_mode: ProtectionMode
+    new_mode: ProtectionMode
+    lines_rewritten: int = 0
+    corrected_lines: int = 0
+    unrecoverable_lines: int = 0  # DUE during the re-encode read
+
+
+class UpgradeEngine:
+    """Re-encodes pages between protection modes."""
+
+    def __init__(
+        self,
+        storage: ArccStorage,
+        page_table: PageTable,
+        tlb: Optional[Tlb] = None,
+    ):
+        self.storage = storage
+        self.page_table = page_table
+        self.tlb = tlb
+
+    def _read_page_data(
+        self, page: int, mode: ProtectionMode, report: UpgradeReport
+    ) -> bytes:
+        """Decode a whole page's payload under its current mode.
+
+        Uncorrectable lines contribute zero-filled payload — the data is
+        already lost (a DUE was taken); the page still upgrades so future
+        faults are covered.
+        """
+        storage = self.storage
+        codec = codec_for_mode(mode)
+        lines_per_page = storage.config.lines_per_page
+        base = page * lines_per_page
+        chunks: List[bytes] = []
+        for offset in range(0, lines_per_page, mode.span):
+            codewords = storage.read_codewords(base + offset, mode)
+            result = codec.decode_line(codewords)
+            if result.status == DecodeStatus.CORRECTED:
+                report.corrected_lines += 1
+            if result.ok and result.data is not None:
+                chunks.append(result.data)
+            else:
+                report.unrecoverable_lines += 1
+                chunks.append(bytes(mode.line_bytes))
+        return b"".join(chunks)
+
+    def _write_page_data(
+        self, page: int, mode: ProtectionMode, data: bytes, report: UpgradeReport
+    ) -> None:
+        storage = self.storage
+        codec = codec_for_mode(mode)
+        lines_per_page = storage.config.lines_per_page
+        base = page * lines_per_page
+        line_bytes = mode.line_bytes
+        for i, offset in enumerate(range(0, lines_per_page, mode.span)):
+            chunk = data[i * line_bytes : (i + 1) * line_bytes]
+            storage.write_codewords(
+                base + offset, mode, codec.encode_line(chunk)
+            )
+            report.lines_rewritten += 1
+
+    def set_page_mode(
+        self, page: int, new_mode: ProtectionMode
+    ) -> UpgradeReport:
+        """Transition one page to ``new_mode`` (up or down the lattice)."""
+        old_mode = self.page_table.mode_of(page)
+        report = UpgradeReport(page=page, old_mode=old_mode, new_mode=new_mode)
+        if new_mode == old_mode:
+            return report
+        data = self._read_page_data(page, old_mode, report)
+        self._write_page_data(page, new_mode, data, report)
+        self.page_table.set_mode(page, new_mode)
+        if self.tlb is not None:
+            self.tlb.shootdown(page)
+        return report
+
+    def upgrade_page(self, page: int) -> UpgradeReport:
+        """Move a page one step up the lattice (scrub-end action)."""
+        current = self.page_table.mode_of(page)
+        if current.is_strongest:
+            return UpgradeReport(
+                page=page, old_mode=current, new_mode=current
+            )
+        return self.set_page_mode(page, current.next_stronger())
+
+    def relax_page(self, page: int) -> UpgradeReport:
+        """Move a page back to RELAXED (post-boot initialization path)."""
+        return self.set_page_mode(page, ProtectionMode.RELAXED)

@@ -1,0 +1,146 @@
+"""Physical-address mapping policies (DRAMsim's BASE / HIPERF / CLOSE_PAGE).
+
+The mapping decides which channel, rank, bank, row and column serve a line
+address. The property ARCC depends on (Section 4.1) is that conventional
+multi-controller mappings put *adjacent 64B lines on alternate channels*,
+so the two sub-lines of an upgraded 128B line always live on different
+channels and can be fetched in parallel. The high-performance map used in
+the evaluation interleaves channel first, then bank, then rank — maximizing
+parallelism for streams under the closed-page policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import MemoryConfig
+
+
+class MappingPolicy(enum.Enum):
+    """Address interleave orders (lowest-order field listed first).
+
+    All three put the channel at the bottom — adjacent lines alternate
+    channels, the property Figure 4.1 requires — and differ in what they
+    interleave next:
+
+    * ``BASE`` — channel : column : bank : rank : row. Sequential lines
+      fill a DRAM row before moving on (row-buffer locality for
+      open-page policies).
+    * ``HIPERF`` — channel : bank : rank : column : row. Banks first:
+      sequential streams hit different banks, maximizing parallelism
+      under the closed-page policy (the evaluation's choice).
+    * ``CLOSE_PAGE`` — channel : rank : bank : column : row. Ranks
+      before banks, spreading consecutive lines across ranks.
+    """
+
+    BASE = "sdram_base_map"
+    HIPERF = "sdram_hiperf_map"
+    CLOSE_PAGE = "sdram_close_page_map"
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """Where a line address landed."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+def _take(value: int, count: int) -> tuple:
+    """Pop ``count`` values from the bottom of ``value`` (mixed radix)."""
+    return value % count, value // count
+
+
+class AddressMapping:
+    """Line-address decoder for one mapping policy and memory geometry.
+
+    Addresses are *line indices* (byte address / line size); all policies
+    here put the channel bits at the bottom so adjacent lines alternate
+    channels, as the paper's Figure 4.1 requires.
+    """
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        policy: MappingPolicy = MappingPolicy.HIPERF,
+        rows: int = 16384,
+    ):
+        self.config = config
+        self.policy = policy
+        self.rows = rows
+        line_bits = config.cacheline_bytes
+        row_bytes = config.page_bytes * config.pages_per_row
+        self.lines_per_row = row_bytes // line_bits
+
+    def decode(self, line_address: int) -> DecodedAddress:
+        """Map a line index to (channel, rank, bank, row, column)."""
+        if line_address < 0:
+            raise ValueError("line address must be non-negative")
+        cfg = self.config
+        rest = line_address
+        if self.policy == MappingPolicy.BASE:
+            channel, rest = _take(rest, cfg.channels)
+            column, rest = _take(rest, self.lines_per_row)
+            bank, rest = _take(rest, cfg.banks_per_device)
+            rank, rest = _take(rest, cfg.ranks_per_channel)
+            row = rest % self.rows
+        elif self.policy == MappingPolicy.HIPERF:
+            channel, rest = _take(rest, cfg.channels)
+            bank, rest = _take(rest, cfg.banks_per_device)
+            rank, rest = _take(rest, cfg.ranks_per_channel)
+            column, rest = _take(rest, self.lines_per_row)
+            row = rest % self.rows
+        else:  # CLOSE_PAGE
+            channel, rest = _take(rest, cfg.channels)
+            rank, rest = _take(rest, cfg.ranks_per_channel)
+            bank, rest = _take(rest, cfg.banks_per_device)
+            column, rest = _take(rest, self.lines_per_row)
+            row = rest % self.rows
+        return DecodedAddress(
+            channel=channel, rank=rank, bank=bank, row=row, column=column
+        )
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode` (used by tests and the scrubber)."""
+        cfg = self.config
+        if self.policy == MappingPolicy.BASE:
+            value = decoded.row
+            value = value * cfg.ranks_per_channel + decoded.rank
+            value = value * cfg.banks_per_device + decoded.bank
+            value = value * self.lines_per_row + decoded.column
+            value = value * cfg.channels + decoded.channel
+        elif self.policy == MappingPolicy.HIPERF:
+            value = decoded.row
+            value = value * self.lines_per_row + decoded.column
+            value = value * cfg.ranks_per_channel + decoded.rank
+            value = value * cfg.banks_per_device + decoded.bank
+            value = value * cfg.channels + decoded.channel
+        else:  # CLOSE_PAGE
+            value = decoded.row
+            value = value * self.lines_per_row + decoded.column
+            value = value * cfg.banks_per_device + decoded.bank
+            value = value * cfg.ranks_per_channel + decoded.rank
+            value = value * cfg.channels + decoded.channel
+        return value
+
+    def sibling_line(self, line_address: int) -> int:
+        """The other sub-line of the upgraded 128B line containing this one.
+
+        Adjacent even/odd line addresses pair up; they always decode to
+        different channels because channel bits sit at the bottom.
+        """
+        return line_address ^ 1
+
+    def page_of(self, line_address: int) -> int:
+        """Physical 4 KB page index containing the line."""
+        lines_per_page = self.config.lines_per_page
+        return line_address // lines_per_page
+
+    def lines_of_page(self, page: int) -> range:
+        """All line addresses inside a physical page."""
+        lines_per_page = self.config.lines_per_page
+        return range(page * lines_per_page, (page + 1) * lines_per_page)

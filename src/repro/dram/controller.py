@@ -1,0 +1,93 @@
+"""Memory controller: per-channel queues and upgraded sub-line pairing.
+
+Section 4.2.4 requires the two 64B sub-lines of an upgraded 128B line to be
+read from / written to both channels *at the same time* so all four check
+symbols of each codeword are available together. The controller here
+implements the paper's first design: a logical partition of each memory
+queue into sub-line and regular traffic, with sub-line pairs issued in
+lockstep (both channels synchronize on the later of their ready times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dram.addressing import AddressMapping
+from repro.dram.channel import Channel
+from repro.dram.command import MemoryRequest
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate controller behaviour over a simulation."""
+
+    requests: int = 0
+    paired_requests: int = 0
+    total_latency_ns: float = 0.0
+    max_latency_ns: float = 0.0
+
+    @property
+    def average_latency_ns(self) -> float:
+        """Mean request latency (0 when nothing ran)."""
+        if self.requests == 0:
+            return 0.0
+        return self.total_latency_ns / self.requests
+
+    def record(self, latency_ns: float, paired: bool) -> None:
+        """Record one completed request."""
+        self.requests += 1
+        if paired:
+            self.paired_requests += 1
+        self.total_latency_ns += latency_ns
+        self.max_latency_ns = max(self.max_latency_ns, latency_ns)
+
+
+class MemoryController:
+    """Front-end that routes line requests onto channels.
+
+    The simulator drives it in arrival order (the trace is already
+    time-sorted), so the queues reduce to the channels' in-order issue
+    state plus the pairing synchronization below.
+    """
+
+    def __init__(self, mapping: AddressMapping, channels: List[Channel]):
+        if len(channels) != mapping.config.channels:
+            raise ValueError("channel count does not match configuration")
+        self.mapping = mapping
+        self.channels = channels
+        self.stats = ControllerStats()
+
+    def access(
+        self, request: MemoryRequest, upgraded: bool = False
+    ) -> float:
+        """Service a request; returns its completion time (ns).
+
+        For an upgraded access both the line and its channel-sibling
+        sub-line are issued, and completion is the later of the two (the
+        EDAC controller needs all 36 symbols before it can decode).
+        """
+        decoded = self.mapping.decode(request.line_address)
+        chan = self.channels[decoded.channel]
+        _, completion = chan.service(
+            request.arrival_ns, decoded.rank, decoded.bank, request.is_write
+        )
+        if upgraded:
+            sibling = self.mapping.sibling_line(request.line_address)
+            sib_decoded = self.mapping.decode(sibling)
+            if sib_decoded.channel == decoded.channel:
+                raise RuntimeError(
+                    "sub-lines of an upgraded line mapped to one channel; "
+                    "address mapping must interleave channels at line level"
+                )
+            sib_chan = self.channels[sib_decoded.channel]
+            _, sib_completion = sib_chan.service(
+                request.arrival_ns,
+                sib_decoded.rank,
+                sib_decoded.bank,
+                request.is_write,
+            )
+            completion = max(completion, sib_completion)
+        request.completion_ns = completion
+        self.stats.record(completion - request.arrival_ns, upgraded)
+        return completion

@@ -1,0 +1,198 @@
+"""Memory-queue organizations for sub-line pairing (Section 4.2.4).
+
+The two sub-lines of an upgraded 128B line must issue to their two
+channels *together*. The paper sketches two queue designs; both are
+implemented here and verified to preserve the pairing invariant:
+
+* **Partitioned FIFO** — each controller's queue is logically split into
+  a sub-line queue (strict FIFO, so the k-th sub-line in channel X's
+  queue always pairs with the k-th in channel Y's) and a regular queue;
+  the controller alternates between them.
+* **Pointer flag** — each queue entry carries a flag whose first bit
+  marks a sub-line and whose remaining bits point at the partner entry in
+  the other channel's queue; when a sub-line reaches the head, the
+  partner is promoted to its queue's head and both issue together.
+
+These model *ordering*, not timing — the timing channel consumes the
+issue order they emit. They exist so the pairing logic itself is testable
+in isolation (and because the paper devotes a design discussion to it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.dram.command import MemoryRequest
+
+
+@dataclass
+class IssueSlot:
+    """One issue decision: the requests leaving the controller together."""
+
+    requests: Tuple[MemoryRequest, ...]
+
+    @property
+    def is_paired(self) -> bool:
+        """True for a lockstep sub-line pair."""
+        return len(self.requests) == 2
+
+
+class PartitionedFifoQueues:
+    """Design 1: per-channel queues split into sub-line and regular FIFOs.
+
+    Pairing correctness rests on strict FIFO order of the sub-line
+    partitions: enqueue order of pairs is identical on both channels, so
+    heads always match.
+    """
+
+    def __init__(self, channels: int = 2):
+        if channels < 2:
+            raise ValueError("pairing needs at least two channels")
+        self.channels = channels
+        self._sublines: List[Deque[MemoryRequest]] = [
+            deque() for _ in range(channels)
+        ]
+        self._regular: List[Deque[MemoryRequest]] = [
+            deque() for _ in range(channels)
+        ]
+        self._prefer_sublines = True
+
+    def enqueue_regular(self, channel: int, request: MemoryRequest) -> None:
+        """Queue a relaxed 64B request on one channel."""
+        self._regular[channel].append(request)
+
+    def enqueue_pair(
+        self,
+        first: Tuple[int, MemoryRequest],
+        second: Tuple[int, MemoryRequest],
+    ) -> None:
+        """Queue both sub-lines of an upgraded line atomically."""
+        (chan_a, req_a), (chan_b, req_b) = first, second
+        if chan_a == chan_b:
+            raise ValueError("sub-lines must target different channels")
+        req_a.paired_with = req_b.request_id
+        req_b.paired_with = req_a.request_id
+        self._sublines[chan_a].append(req_a)
+        self._sublines[chan_b].append(req_b)
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting across all queues."""
+        return sum(len(q) for q in self._sublines) + sum(
+            len(q) for q in self._regular
+        )
+
+    def issue(self) -> Optional[IssueSlot]:
+        """Issue the next slot, alternating sub-line and regular traffic."""
+        for _ in range(2):  # try the preferred class, then the other
+            if self._prefer_sublines:
+                slot = self._issue_subline_pair()
+            else:
+                slot = self._issue_regular_round()
+            self._prefer_sublines = not self._prefer_sublines
+            if slot is not None:
+                return slot
+        return None
+
+    def _issue_subline_pair(self) -> Optional[IssueSlot]:
+        ready = [q for q in self._sublines if q]
+        if len(ready) < 2:
+            return None
+        # Strict FIFO: the heads of any two non-empty sub-line queues are
+        # partners by construction; verify the invariant anyway.
+        head_a = ready[0][0]
+        for queue in ready[1:]:
+            if queue[0].request_id == head_a.paired_with:
+                req_a = ready[0].popleft()
+                req_b = queue.popleft()
+                return IssueSlot(requests=(req_a, req_b))
+        raise RuntimeError(
+            "sub-line FIFO invariant violated: heads are not partners"
+        )
+
+    def _issue_regular_round(self) -> Optional[IssueSlot]:
+        for queue in self._regular:
+            if queue:
+                return IssueSlot(requests=(queue.popleft(),))
+        return None
+
+
+class PointerFlagQueues:
+    """Design 2: unified per-channel queues with partner pointers.
+
+    Sub-line entries carry a pointer to the partner's queue position;
+    when one reaches its head, the partner is *promoted* to the head of
+    its own queue so the pair issues together (the paper's alternative
+    design, which avoids partitioning at the cost of promotion logic).
+    """
+
+    def __init__(self, channels: int = 2):
+        if channels < 2:
+            raise ValueError("pairing needs at least two channels")
+        self.channels = channels
+        self._queues: List[Deque[MemoryRequest]] = [
+            deque() for _ in range(channels)
+        ]
+        self._channel_of: Dict[int, int] = {}
+        self.promotions = 0
+
+    def enqueue_regular(self, channel: int, request: MemoryRequest) -> None:
+        """Queue a relaxed request."""
+        self._queues[channel].append(request)
+        self._channel_of[request.request_id] = channel
+
+    def enqueue_pair(
+        self,
+        first: Tuple[int, MemoryRequest],
+        second: Tuple[int, MemoryRequest],
+    ) -> None:
+        """Queue both sub-lines (possibly at different queue depths)."""
+        (chan_a, req_a), (chan_b, req_b) = first, second
+        if chan_a == chan_b:
+            raise ValueError("sub-lines must target different channels")
+        req_a.paired_with = req_b.request_id
+        req_b.paired_with = req_a.request_id
+        self.enqueue_regular(chan_a, req_a)
+        self.enqueue_regular(chan_b, req_b)
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting across all queues."""
+        return sum(len(q) for q in self._queues)
+
+    def _promote_to_head(self, channel: int, request_id: int) -> None:
+        queue = self._queues[channel]
+        for i, request in enumerate(queue):
+            if request.request_id == request_id:
+                del queue[i]
+                queue.appendleft(request)
+                self.promotions += 1
+                return
+        raise RuntimeError(f"partner request {request_id} not found")
+
+    def issue(self) -> Optional[IssueSlot]:
+        """Issue from the first non-empty queue; pairs stall until the
+        partner is promoted, then go together."""
+        for channel, queue in enumerate(self._queues):
+            if not queue:
+                continue
+            head = queue[0]
+            if head.paired_with is None:
+                queue.popleft()
+                self._channel_of.pop(head.request_id, None)
+                return IssueSlot(requests=(head,))
+            partner_channel = self._channel_of[head.paired_with]
+            partner_queue = self._queues[partner_channel]
+            if (
+                not partner_queue
+                or partner_queue[0].request_id != head.paired_with
+            ):
+                self._promote_to_head(partner_channel, head.paired_with)
+            partner = self._queues[partner_channel].popleft()
+            queue.popleft()
+            self._channel_of.pop(head.request_id, None)
+            self._channel_of.pop(partner.request_id, None)
+            return IssueSlot(requests=(head, partner))
+        return None

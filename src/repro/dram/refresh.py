@@ -1,0 +1,69 @@
+"""DRAM refresh modeling (power and bandwidth).
+
+Refresh is orthogonal to ARCC — both configurations refresh the same 72
+devices — but a credible DDR2 power model should carry it, and the scrub
+bandwidth arithmetic of Section 4.2.2 is only meaningful next to the
+refresh bandwidth both systems already pay.
+
+DDR2 512Mb parts: tREFI = 7.8 us (64 ms / 8192 rows), tRFC = 105 ns,
+IDD5 = refresh burst current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DevicePowerParams
+
+#: Average refresh interval (ns) — 64 ms retention over 8192 refresh
+#: commands (JEDEC DDR2).
+TREFI_NS = 7800.0
+
+#: Refresh cycle time (ns) for a 512Mb device.
+TRFC_NS = 105.0
+
+
+@dataclass(frozen=True)
+class RefreshModel:
+    """Per-device refresh power and per-channel bandwidth loss."""
+
+    params: DevicePowerParams
+    trefi_ns: float = TREFI_NS
+    trfc_ns: float = TRFC_NS
+
+    def __post_init__(self) -> None:
+        if self.trefi_ns <= self.trfc_ns:
+            raise ValueError("tREFI must exceed tRFC")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time a device spends refreshing (~1.3% for DDR2)."""
+        return self.trfc_ns / self.trefi_ns
+
+    @property
+    def average_power_w(self) -> float:
+        """Average refresh power per device: (IDD5-IDD2N)*VDD*duty."""
+        p = self.params
+        return max(p.idd5 - p.idd2n, 0.0) * 1e-3 * p.vdd * self.duty_cycle
+
+    def rank_power_w(self, devices: int) -> float:
+        """Average refresh power of a whole rank."""
+        if devices <= 0:
+            raise ValueError("rank needs at least one device")
+        return devices * self.average_power_w
+
+    @property
+    def bandwidth_overhead(self) -> float:
+        """Fraction of channel time blocked by refresh (all banks busy
+        during tRFC)."""
+        return self.duty_cycle
+
+
+def refresh_vs_scrub_overhead(
+    refresh: RefreshModel, scrub_overhead: float
+) -> float:
+    """How small ARCC's scrub cost is next to refresh (Section 4.2.2's
+    0.0167% vs refresh's ~1.3%). Returns scrub / refresh."""
+    if refresh.bandwidth_overhead <= 0:
+        raise ValueError("refresh overhead must be positive")
+    return scrub_overhead / refresh.bandwidth_overhead

@@ -1,0 +1,114 @@
+"""Memory-system facade: geometry + controller + power rollup.
+
+`MemorySystem` is what the performance simulator talks to: line-address
+accesses in, completion times out, average watts at the end. It builds the
+channel/rank structure from a :class:`repro.config.MemoryConfig`, so the
+baseline (one lockstep 36-device logical channel) and ARCC (two independent
+18-device channels) differ only in their config row — exactly the Table 7.1
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import MemoryConfig
+from repro.dram.addressing import AddressMapping, MappingPolicy
+from repro.dram.channel import Channel
+from repro.dram.command import MemoryRequest
+from repro.dram.controller import ControllerStats, MemoryController
+from repro.dram.power import PowerCounters, RankPowerModel
+from repro.dram.timing import power_params_for_width, timings_for_width
+
+
+@dataclass
+class PowerReport:
+    """Average power over a simulation window."""
+
+    total_w: float
+    background_w: float
+    dynamic_w: float
+    per_rank_w: List[float]
+
+    def normalized_to(self, other: "PowerReport") -> float:
+        """This report's total power as a fraction of another's."""
+        if other.total_w <= 0:
+            raise ValueError("cannot normalize to zero power")
+        return self.total_w / other.total_w
+
+
+class MemorySystem:
+    """Timing/power model of one Table 7.1 memory organization."""
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        policy: MappingPolicy = MappingPolicy.HIPERF,
+    ):
+        self.config = config
+        self.timings = timings_for_width(config.io_width)
+        self.power_params = power_params_for_width(config.io_width)
+        self.mapping = AddressMapping(config, policy)
+        self.channels = [
+            Channel(self.timings, config.ranks_per_channel)
+            for _ in range(config.channels)
+        ]
+        self.controller = MemoryController(self.mapping, self.channels)
+        self.rank_power_model = RankPowerModel(
+            config.devices_per_rank, self.power_params, self.timings
+        )
+
+    # -- access path ---------------------------------------------------------
+
+    def access(
+        self,
+        line_address: int,
+        is_write: bool,
+        now_ns: float,
+        upgraded: bool = False,
+    ) -> float:
+        """Issue one line access; returns completion time in ns."""
+        request = MemoryRequest(
+            line_address=line_address, is_write=is_write, arrival_ns=now_ns
+        )
+        return self.controller.access(request, upgraded=upgraded)
+
+    @property
+    def stats(self) -> ControllerStats:
+        """Controller-level latency statistics."""
+        return self.controller.stats
+
+    # -- reporting --------------------------------------------------------------
+
+    def power_report(self, end_ns: float) -> PowerReport:
+        """Average power over [0, end_ns], split background vs dynamic."""
+        if end_ns <= 0:
+            raise ValueError("measurement window must be positive")
+        model = self.rank_power_model
+        dm = model.device_model
+        per_rank = []
+        background = 0.0
+        dynamic = 0.0
+        for channel in self.channels:
+            for counters in channel.finalize(end_ns):
+                rank_w = model.average_power_w(counters)
+                per_rank.append(rank_w)
+                bg_nj = (
+                    counters.active_ns * dm.active_standby_w
+                    + counters.standby_ns * dm.precharge_standby_w
+                    + counters.powerdown_ns * dm.powerdown_w
+                )
+                background += bg_nj / end_ns * model.devices
+                dynamic += rank_w - bg_nj / end_ns * model.devices
+        return PowerReport(
+            total_w=sum(per_rank),
+            background_w=background,
+            dynamic_w=dynamic,
+            per_rank_w=per_rank,
+        )
+
+    def access_energy_nj(self, is_write: bool, upgraded: bool = False) -> float:
+        """Dynamic energy of one access (doubled for upgraded lines)."""
+        energy = self.rank_power_model.access_energy_nj(is_write)
+        return energy * (2 if upgraded else 1)

@@ -1,0 +1,81 @@
+"""One's-complement checksums and XOR parity — LOT-ECC's building blocks.
+
+LOT-ECC detects and *localizes* device failures with a per-device
+one's-complement checksum of that device's data, and corrects the localized
+device by XOR-reconstruction across the rank. The paper (Chapter 2) notes
+the resulting detection guarantee is weaker than symbol codes: a faulty
+device whose corrupted output happens to keep the same checksum aliases.
+These primitives reproduce that behaviour faithfully because they compute
+real checksums over real bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ecc.base import CodecError
+
+
+def ones_complement_sum(words: Sequence[int], width: int = 8) -> int:
+    """One's-complement (end-around-carry) sum of ``width``-bit words."""
+    if width <= 0:
+        raise CodecError("width must be positive")
+    mask = (1 << width) - 1
+    total = 0
+    for w in words:
+        if w & ~mask:
+            raise CodecError(f"word {w:#x} exceeds {width} bits")
+        total += w
+        total = (total & mask) + (total >> width)
+    # A final fold in case the last addition carried.
+    total = (total & mask) + (total >> width)
+    return total & mask
+
+
+def ones_complement_checksum(data: bytes, width: int = 8) -> int:
+    """Checksum of a byte string: complement of the one's-complement sum.
+
+    ``width`` must be a multiple of 8; bytes are grouped big-endian.
+    """
+    if width % 8:
+        raise CodecError("checksum width must be a whole number of bytes")
+    stride = width // 8
+    if len(data) % stride:
+        raise CodecError(
+            f"{len(data)} bytes do not divide into {width}-bit words"
+        )
+    words = [
+        int.from_bytes(data[i : i + stride], "big")
+        for i in range(0, len(data), stride)
+    ]
+    mask = (1 << width) - 1
+    return ones_complement_sum(words, width) ^ mask
+
+
+def verify_checksum(data: bytes, checksum: int, width: int = 8) -> bool:
+    """True when ``checksum`` matches ``data`` (no fault detected)."""
+    return ones_complement_checksum(data, width) == checksum
+
+
+def xor_parity(segments: Sequence[bytes]) -> bytes:
+    """Byte-wise XOR across equal-length segments (LOT-ECC tier 2)."""
+    if not segments:
+        raise CodecError("xor_parity of no segments")
+    length = len(segments[0])
+    out = bytearray(length)
+    for seg in segments:
+        if len(seg) != length:
+            raise CodecError("segments must have equal length")
+        for i, b in enumerate(seg):
+            out[i] ^= b
+    return bytes(out)
+
+
+def reconstruct_segment(
+    segments: List[bytes], parity: bytes, missing_index: int
+) -> bytes:
+    """Rebuild the segment at ``missing_index`` from the others + parity."""
+    if not 0 <= missing_index < len(segments):
+        raise CodecError("missing_index out of range")
+    others = [s for i, s in enumerate(segments) if i != missing_index]
+    return xor_parity(others + [parity])

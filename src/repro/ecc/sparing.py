@@ -1,0 +1,120 @@
+"""Double chip sparing (Chapter 2, Section 5.1).
+
+Double chip sparing uses the same four redundant devices as SCCDCD but a
+more efficient encoding: three check symbols provide single-symbol-correct
+double-symbol-detect (RS distance 4), and the fourth device is a *spare*.
+When a bad device is detected, its reconstructed contents are remapped to
+the spare; from then on the code can absorb a *second* device failure —
+as long as the second fault arrives after the first was detected. That
+ordering condition is exactly what makes the error-*detection* reliability
+of ARCC equal to the error-*correction* reliability of double chip sparing
+(Section 6.2), which is why the reliability model reuses this machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ecc.base import CodecError, DecodeResult, DecodeStatus
+from repro.ecc.reed_solomon import ReedSolomonCode
+from repro.gf.field import GF, GF256
+
+
+class DoubleChipSparing:
+    """A 36-device rank with 32 data, 3 check and 1 spare device.
+
+    The instance is stateful per rank: :attr:`spared_device` records which
+    device has been remapped onto the spare (device index ``devices - 1``).
+    """
+
+    def __init__(
+        self,
+        devices: int = 36,
+        data_devices: int = 32,
+        line_bytes: int = 64,
+        field: GF = GF256,
+    ):
+        if devices - data_devices < 2:
+            raise CodecError("need at least one check and one spare device")
+        self.devices = devices
+        self.data_devices = data_devices
+        self.line_bytes = line_bytes
+        self.spare_device = devices - 1
+        self.check_devices = devices - data_devices - 1
+        # The working code covers every device except the spare slot.
+        self.code = ReedSolomonCode(devices - 1, data_devices, field=field)
+        data_bits = line_bytes * 8
+        if data_bits % (data_devices * field.m):
+            raise CodecError("line does not stripe evenly")
+        self.codewords_per_line = data_bits // (data_devices * field.m)
+        self.spared_device: Optional[int] = None
+
+    # -- encode ---------------------------------------------------------------
+
+    def encode_line(self, data: bytes) -> List[List[int]]:
+        """Encode a line; the spare symbol (last position) starts at zero."""
+        if len(data) != self.line_bytes:
+            raise CodecError(
+                f"line has {len(data)} bytes, expected {self.line_bytes}"
+            )
+        codewords = []
+        for c in range(self.codewords_per_line):
+            start = c * self.data_devices
+            msg = list(data[start : start + self.data_devices])
+            cw = self.code.encode(msg)
+            codewords.append(cw + [0])  # spare slot unused
+        return codewords
+
+    # -- sparing state ----------------------------------------------------------
+
+    def remap(self, device: int, codewords: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Remap ``device`` onto the spare, copying its corrected symbols.
+
+        Returns new codewords where the spare slot carries the remapped
+        device's data. The caller is expected to have corrected the line
+        first (decode -> remap -> write back).
+        """
+        if self.spared_device is not None and self.spared_device != device:
+            raise CodecError("spare already consumed by another device")
+        if not 0 <= device < self.spare_device:
+            raise CodecError(f"cannot remap device {device}")
+        out = [list(cw) for cw in codewords]
+        for cw in out:
+            cw[self.spare_device] = cw[device]
+        self.spared_device = device
+        return out
+
+    def reset(self) -> None:
+        """Clear sparing state (device replaced / rank rebuilt)."""
+        self.spared_device = None
+
+    # -- decode ---------------------------------------------------------------
+
+    def _working_symbols(self, cw: Sequence[int]) -> List[int]:
+        """The n-1 symbols the RS code covers, honouring the remap."""
+        symbols = list(cw[: self.spare_device])
+        if self.spared_device is not None:
+            symbols[self.spared_device] = cw[self.spare_device]
+        return symbols
+
+    def decode_line(
+        self, codewords: Sequence[Sequence[int]]
+    ) -> DecodeResult:
+        """Decode a line with the correct-1/detect-2 sparing policy."""
+        if len(codewords) != self.codewords_per_line:
+            raise CodecError("wrong number of codewords")
+        merged: Optional[DecodeResult] = None
+        for cw in codewords:
+            if len(cw) != self.devices:
+                raise CodecError("codeword has wrong symbol count")
+            result = self.code.decode(
+                self._working_symbols(cw), correct_limit=1
+            )
+            merged = result if merged is None else merged.merge(result)
+        assert merged is not None
+        return merged
+
+    @property
+    def can_absorb_second_fault(self) -> bool:
+        """True once a first failure has been detected and remapped."""
+        return self.spared_device is not None

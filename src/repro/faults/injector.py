@@ -1,0 +1,110 @@
+"""Inject field-study fault types into functional DRAM devices.
+
+Bridges the statistical world (:class:`repro.faults.lifetime.FaultEvent`)
+and the bit-accurate one (:class:`repro.dram.device.DRAMDevice`): each
+fault type becomes a stuck-at overlay on the device(s) the faulty
+circuitry spans. The enhanced scrubber of Section 4.2.2 then *discovers*
+these faults by probing with all-0s/all-1s patterns — nothing in the ARCC
+core is told where the faults are.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.dram.device import DRAMDevice, FaultOverlay
+from repro.faults.types import FaultType
+
+
+class FaultInjector:
+    """Applies fault types to ranks of functional DRAM devices."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self.injected: List[str] = []
+
+    def _stuck_value(self, width: int) -> int:
+        """Random stuck pattern — all-0s, all-1s, or arbitrary junk.
+
+        Field faults are not always stuck-at-uniform (the paper's bad
+        row-decoder example); mixing patterns exercises both scrubber
+        probe steps.
+        """
+        choice = int(self.rng.integers(3))
+        if choice == 0:
+            return 0
+        if choice == 1:
+            return (1 << width) - 1
+        return int(self.rng.integers(1 << width))
+
+    def inject(
+        self,
+        fault_type: FaultType,
+        ranks: Sequence[Sequence[DRAMDevice]],
+        rank: int,
+        device: int,
+    ) -> List[FaultOverlay]:
+        """Inject one fault event into a channel's rank/device structure.
+
+        ``ranks[r][d]`` is device ``d`` of rank ``r``. Lane faults apply
+        to the same device position of *every* rank (the shared-bus
+        failure of Table 7.4); everything else stays inside one device.
+        Returns the installed overlays.
+        """
+        target = ranks[rank][device]
+        overlays: List[FaultOverlay] = []
+        if fault_type == FaultType.LANE:
+            bit = int(self.rng.integers(target.width))
+            stuck_to = int(self.rng.integers(2))
+            for rank_devices in ranks:
+                dev = rank_devices[device]
+                overlay = FaultOverlay.stuck_at(
+                    f"lane.dev{device}.bit{bit}",
+                    lambda b, r, c: True,
+                    stuck_mask=1 << bit,
+                    stuck_value=stuck_to << bit,
+                    width=dev.width,
+                )
+                dev.faults.append(overlay)
+                overlays.append(overlay)
+        elif fault_type == FaultType.DEVICE:
+            overlays.append(
+                target.inject_device_fault(self._stuck_value(target.width))
+            )
+        elif fault_type == FaultType.BANK:
+            bank = int(self.rng.integers(target.banks))
+            overlays.append(
+                target.inject_bank_fault(bank, self._stuck_value(target.width))
+            )
+        elif fault_type == FaultType.COLUMN:
+            bank = int(self.rng.integers(target.banks))
+            col = int(self.rng.integers(target.columns))
+            overlays.append(
+                target.inject_column_fault(
+                    bank, col, self._stuck_value(target.width)
+                )
+            )
+        elif fault_type == FaultType.ROW:
+            bank = int(self.rng.integers(target.banks))
+            row = int(self.rng.integers(target.rows))
+            overlays.append(
+                target.inject_row_fault(
+                    bank, row, self._stuck_value(target.width)
+                )
+            )
+        elif fault_type == FaultType.BIT:
+            bank = int(self.rng.integers(target.banks))
+            row = int(self.rng.integers(target.rows))
+            col = int(self.rng.integers(target.columns))
+            bit = int(self.rng.integers(target.width))
+            overlays.append(
+                target.inject_bit_fault(
+                    bank, row, col, bit, int(self.rng.integers(2))
+                )
+            )
+        else:
+            raise ValueError(f"unknown fault type {fault_type}")
+        self.injected.append(f"{fault_type.value}@r{rank}d{device}")
+        return overlays

@@ -1,0 +1,72 @@
+"""Fault type -> fraction of pages upgraded (Table 7.4 exactly).
+
+The geometry is the ARCC configuration of Table 7.1: a memory system with
+two channels, two ranks per channel, 8 banks per device, two 4 KB pages per
+DRAM row. ARCC upgrades at page granularity, and a page is striped across
+every device of its rank, so a fault's page footprint is determined by how
+much of the *rank's address space* the faulty circuitry covers:
+
+====================  =========================================== ==========
+fault type            paper's reasoning                           fraction
+====================  =========================================== ==========
+lane                  shared by both ranks of the channel             1
+device                one of the two ranks                            1/2
+bank ("subbank")      1 of 8 banks in 1 of 2 ranks                    1/16
+column                half the pages of a single bank                 1/32
+row                   2 pages per row -> one row's pages              tiny
+single bit            one page                                        tiny
+====================  =========================================== ==========
+"""
+
+from __future__ import annotations
+
+from repro.config import ARCC_MEMORY_CONFIG, MemoryConfig
+from repro.faults.types import FaultType
+
+
+def upgraded_page_fraction(
+    fault_type: FaultType,
+    config: MemoryConfig = ARCC_MEMORY_CONFIG,
+) -> float:
+    """Fraction of a channel-pair's pages upgraded by one fault (Table 7.4).
+
+    The denominators follow the paper's worst-case assumption that every
+    location under the faulty circuitry is corrupt, so every page touching
+    that circuitry is upgraded.
+    """
+    ranks = config.ranks_per_channel
+    banks = config.banks_per_device
+    if fault_type == FaultType.LANE:
+        # A lane is shared by all ranks on the channel: everything upgrades.
+        return 1.0
+    if fault_type == FaultType.DEVICE:
+        return 1.0 / ranks
+    if fault_type == FaultType.BANK:
+        return 1.0 / (ranks * banks)
+    if fault_type == FaultType.COLUMN:
+        # A column fault takes out one column address across the bank; the
+        # paper charges half of the bank's pages (a column of the bank's
+        # two-page rows shares a page with probability 1/2).
+        return 1.0 / (ranks * banks * 2)
+    pages = pages_per_rank(config)
+    if fault_type == FaultType.ROW:
+        return config.pages_per_row / (ranks * pages)
+    if fault_type == FaultType.BIT:
+        return 1.0 / (ranks * pages)
+    raise ValueError(f"unknown fault type {fault_type}")
+
+
+def pages_per_rank(config: MemoryConfig = ARCC_MEMORY_CONFIG) -> int:
+    """Physical pages mapped to one rank."""
+    total_pages = config.pages_per_channel * config.channels
+    return total_pages // (config.channels * config.ranks_per_channel)
+
+
+#: Convenience table mirroring Table 7.4's rows (the four types the power
+#: and performance experiments sweep).
+TABLE_7_4_TYPES = (
+    FaultType.LANE,
+    FaultType.DEVICE,
+    FaultType.BANK,
+    FaultType.COLUMN,
+)

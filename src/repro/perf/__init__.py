@@ -1,0 +1,23 @@
+"""Trace-driven power/performance simulation (the Chapter 7 methodology).
+
+:class:`repro.perf.simulator.TraceSimulator` runs a Table 7.3 mix on four
+cores over the shared LLC and a Table 7.1 memory system, producing the two
+numbers every Chapter 7 figure is built from: average DRAM power and
+summed IPC. The upgraded-page fraction is an input, which is how the
+Figure 7.2/7.3 fault scenarios and the Figure 7.4/7.5 lifetime averages
+are composed.
+"""
+
+from repro.perf.simulator import (
+    MixResult,
+    TraceSimulator,
+    worst_case_performance_ratio,
+    worst_case_power_ratio,
+)
+
+__all__ = [
+    "MixResult",
+    "TraceSimulator",
+    "worst_case_performance_ratio",
+    "worst_case_power_ratio",
+]

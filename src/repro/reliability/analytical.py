@@ -1,0 +1,202 @@
+"""Closed-form SDC models for SCCDCD vs SCCDCD+ARCC (Section 6.2).
+
+The argument of Chapter 6: commercial SCCDCD always detects two bad
+symbols per codeword, so an SDC needs *three* simultaneously-present
+overlapping faults. ARCC's relaxed codewords only guarantee detection of
+one bad symbol, so an SDC needs just *two* faults overlapping a codeword
+— but the second must arrive in the *same scrub interval* as the first,
+because at the end of each scrub the affected page is upgraded (after
+which double detection holds again). That ordering race is identical to
+the error-*correction* reliability of double chip sparing, which is why
+the paper reuses the sparing model from [12] for ARCC's detection
+reliability.
+
+Expected counts compose from three ingredients:
+
+* per-device fault arrival rates (FIT, from the field study),
+* the probability two (or three) independently-placed faults share a
+  codeword (the overlap table below), and
+* the exposure window: one scrub interval for the race cases, the
+  accumulated lifetime for faults that persist until something overlaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.faults.types import (
+    DEFAULT_FIT_RATES,
+    DEVICE_LEVEL_TYPES,
+    FaultRates,
+    FaultType,
+)
+from repro.util.units import FIT_TO_PER_HOUR, HOURS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """Geometry and operating parameters of the Chapter 6 analysis."""
+
+    devices_per_rank: int = 36
+    ranks: int = 2  # one channel: 72 devices total
+    banks: int = 8
+    rows: int = 16384
+    columns: int = 2048
+    scrub_interval_hours: float = 4.0
+    rate_multiplier: float = 1.0
+    rates: FaultRates = DEFAULT_FIT_RATES
+
+    @property
+    def scaled_rates(self) -> FaultRates:
+        """Field-study rates after the 1x/2x/4x multiplier."""
+        return self.rates.scaled(self.rate_multiplier)
+
+    @property
+    def total_devices(self) -> int:
+        """Devices in the channel (72 in the paper's configuration)."""
+        return self.devices_per_rank * self.ranks
+
+    def device_rate_per_hour(self, fault_type: FaultType) -> float:
+        """Per-device arrival rate of one fault type (per hour)."""
+        return self.scaled_rates.fit_of(fault_type) * FIT_TO_PER_HOUR
+
+
+def overlap_probability(
+    a: FaultType, b: FaultType, params: ReliabilityParams
+) -> float:
+    """P(two faults on different devices of a rank share a codeword).
+
+    Codewords are indexed by (bank, row, column); a fault's footprint is
+    every index its circuitry covers. Whole-device and lane faults cover
+    everything; smaller faults must land on matching coordinates:
+
+    * bank-bank / bank-row / bank-column / row-column: same bank (1/B) —
+      a row and a column in the same bank always cross at one cell;
+    * row-row: same bank and row (1/(B*R));
+    * column-column: same bank and column (1/(B*C)).
+    """
+    big = (FaultType.DEVICE, FaultType.LANE)
+    if a in big or b in big:
+        return 1.0
+    pair = (a, b) if a.value <= b.value else (b, a)
+    banks = params.banks
+    if pair == (FaultType.ROW, FaultType.ROW):
+        return 1.0 / (banks * params.rows)
+    if pair == (FaultType.COLUMN, FaultType.COLUMN):
+        return 1.0 / (banks * params.columns)
+    # Any remaining combination of bank/row/column overlaps iff same bank.
+    return 1.0 / banks
+
+
+def _peers(a: FaultType, params: ReliabilityParams) -> int:
+    """Devices whose later faults can share codewords with fault ``a``.
+
+    A lane fault spans every rank of the channel; other faults share
+    codewords only within their own rank.
+    """
+    if a == FaultType.LANE:
+        return params.total_devices - 1
+    return params.devices_per_rank - 1
+
+
+def sdc_rate_arcc_ded(params: ReliabilityParams) -> float:
+    """SDC rate (per channel, per hour) of SCCDCD+ARCC.
+
+    An SDC needs a second overlapping fault within the same scrub
+    interval as the first (mean exposure: half an interval, since the
+    first fault lands uniformly within its scrub period).
+    """
+    window = params.scrub_interval_hours / 2.0
+    rate = 0.0
+    for a in DEVICE_LEVEL_TYPES:
+        lam_a = params.device_rate_per_hour(a) * params.total_devices
+        if lam_a == 0.0:
+            continue
+        for b in DEVICE_LEVEL_TYPES:
+            lam_b = params.device_rate_per_hour(b)
+            if lam_b == 0.0:
+                continue
+            rate += (
+                lam_a
+                * _peers(a, params)
+                * lam_b
+                * window
+                * overlap_probability(a, b, params)
+            )
+    return rate
+
+
+def expected_sdc_arcc(params: ReliabilityParams, lifespan_years: float) -> float:
+    """Expected ARCC SDC events per channel over a lifespan."""
+    return sdc_rate_arcc_ded(params) * lifespan_years * HOURS_PER_YEAR
+
+
+def expected_sdc_sccdcd(
+    params: ReliabilityParams, lifespan_years: float
+) -> float:
+    """Expected SCCDCD SDC events per channel over a lifespan.
+
+    Double detection always holds, so an SDC needs a *third* fault
+    overlapping an undetected double: the first fault may have arrived any
+    time before (it persists, being correctable), but the second and
+    third must land within one scrub interval of each other — a detected
+    double is a DUE and, per the Chapter 6 assumption, retires the
+    machine.
+
+    Integrating the race over the lifespan: the expected count is
+    sum over (A,B,C) of  lam_A*N * (T^2/2) * peers*lam_B * o(A,B)
+    * (peers-1)*lam_C * (s/2) * o(A,C) — the T^2/2 being the accumulated
+    exposure of the persistent first fault. Triple overlap is
+    approximated by the product of pairwise overlaps with A (placements
+    independent), exact whenever any fault is device/lane — the dominant
+    case.
+    """
+    hours = lifespan_years * HOURS_PER_YEAR
+    window = params.scrub_interval_hours / 2.0
+    expected = 0.0
+    for a in DEVICE_LEVEL_TYPES:
+        lam_a = params.device_rate_per_hour(a) * params.total_devices
+        if lam_a == 0.0:
+            continue
+        peers = _peers(a, params)
+        for b in DEVICE_LEVEL_TYPES:
+            lam_b = params.device_rate_per_hour(b)
+            if lam_b == 0.0:
+                continue
+            for c in DEVICE_LEVEL_TYPES:
+                lam_c = params.device_rate_per_hour(c)
+                if lam_c == 0.0:
+                    continue
+                expected += (
+                    lam_a
+                    * (hours * hours / 2.0)
+                    * peers
+                    * lam_b
+                    * overlap_probability(a, b, params)
+                    * max(peers - 1, 1)
+                    * lam_c
+                    * window
+                    * overlap_probability(a, c, params)
+                )
+    return expected
+
+
+def sdc_events_per_1000_machine_years(
+    lifespan_years: float,
+    params: ReliabilityParams,
+) -> Tuple[float, float]:
+    """(SCCDCD, SCCDCD+ARCC) SDCs per 1000 machine-years (Figure 6.1).
+
+    A machine is one 72-device channel, replaced wholesale at its first
+    undetectable error (so each machine contributes at most one SDC):
+    count per 1000 machine-years = 1000 * P(SDC within lifespan) /
+    lifespan.
+    """
+    if lifespan_years <= 0:
+        raise ValueError("lifespan must be positive")
+    p_arcc = 1.0 - math.exp(-expected_sdc_arcc(params, lifespan_years))
+    p_sccdcd = 1.0 - math.exp(-expected_sdc_sccdcd(params, lifespan_years))
+    scale = 1000.0 / lifespan_years
+    return p_sccdcd * scale, p_arcc * scale

@@ -1,0 +1,242 @@
+"""Monte-Carlo validation of the Chapter 6 reliability models.
+
+Event-driven simulation of one channel at a time: device-level faults
+arrive as Poisson processes; each fault gets concrete coordinates (rank,
+device, bank, row, column) so codeword overlap is *exact* footprint
+intersection, not a probability table. Detection happens at scrub
+boundaries. The ARCC policy counts an SDC when a new fault intersects an
+undetected one; the SCCDCD policy needs a triple (an undetected pair plus
+one more) and counts a DUE — machine retirement — for a detected pair.
+
+The paper performs the same cross-check against the analytical models of
+[12]; ``benchmarks/test_fig6_1_sdc.py`` reports both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.types import (
+    DEFAULT_FIT_RATES,
+    DEVICE_LEVEL_TYPES,
+    FaultRates,
+    FaultType,
+)
+from repro.reliability.analytical import ReliabilityParams
+from repro.util.rng import split_rng
+from repro.util.units import FIT_TO_PER_HOUR, HOURS_PER_YEAR
+
+
+@dataclass
+class _PlacedFault:
+    """A fault with concrete circuitry coordinates."""
+
+    time_hours: float
+    fault_type: FaultType
+    rank: int
+    device: int
+    bank: int
+    row: int
+    column: int
+    detected: bool = False
+
+    def footprint_intersects(self, other: "_PlacedFault") -> bool:
+        """Exact codeword-footprint intersection.
+
+        Two faults share a codeword when they sit in the same rank (or one
+        is a lane fault, which spans ranks), on different devices, and
+        their (bank, row, column) regions intersect.
+        """
+        lane_involved = FaultType.LANE in (self.fault_type, other.fault_type)
+        if not lane_involved and self.rank != other.rank:
+            return False
+        if self.device == other.device and self.rank == other.rank:
+            # Same device: still one bad symbol per codeword.
+            return False
+        return _regions_intersect(self, other)
+
+
+def _covers_all(fault: _PlacedFault) -> bool:
+    return fault.fault_type in (FaultType.DEVICE, FaultType.LANE)
+
+
+def _regions_intersect(a: _PlacedFault, b: _PlacedFault) -> bool:
+    if _covers_all(a) or _covers_all(b):
+        return True
+    if a.bank != b.bank:
+        return False
+    ta, tb = a.fault_type, b.fault_type
+    if FaultType.BANK in (ta, tb):
+        return True
+    if ta == FaultType.ROW and tb == FaultType.ROW:
+        return a.row == b.row
+    if ta == FaultType.COLUMN and tb == FaultType.COLUMN:
+        return a.column == b.column
+    # One row fault and one column fault in the same bank always cross.
+    return True
+
+
+@dataclass
+class ReliabilityOutcome:
+    """Counts from a Monte-Carlo population."""
+
+    channels: int
+    years: float
+    sdc_machines_arcc: int = 0
+    sdc_machines_sccdcd: int = 0
+    due_machines_sccdcd: int = 0
+    due_machines_sparing: int = 0
+
+    def per_1000_machine_years(self, count: int) -> float:
+        """Scale a machine count to the Figure 6.1 unit."""
+        machine_years = self.channels * self.years
+        if machine_years <= 0:
+            raise ValueError("empty simulation")
+        return count * 1000.0 / machine_years
+
+
+class MonteCarloReliability:
+    """Population-level reliability simulation."""
+
+    def __init__(
+        self,
+        params: Optional[ReliabilityParams] = None,
+        seed: int = 0x5DC,
+    ):
+        self.params = params or ReliabilityParams()
+        self.seed = seed
+
+    # -- sampling -------------------------------------------------------------
+
+    def _sample_faults(
+        self, rng: np.random.Generator, years: float
+    ) -> List[_PlacedFault]:
+        p = self.params
+        horizon = years * HOURS_PER_YEAR
+        faults: List[_PlacedFault] = []
+        for fault_type in DEVICE_LEVEL_TYPES:
+            lam = p.device_rate_per_hour(fault_type) * p.total_devices
+            if lam <= 0:
+                continue
+            count = rng.poisson(lam * horizon)
+            for _ in range(count):
+                faults.append(
+                    _PlacedFault(
+                        time_hours=float(rng.uniform(0.0, horizon)),
+                        fault_type=fault_type,
+                        rank=int(rng.integers(p.ranks)),
+                        device=int(rng.integers(p.devices_per_rank)),
+                        bank=int(rng.integers(p.banks)),
+                        row=int(rng.integers(p.rows)),
+                        column=int(rng.integers(p.columns)),
+                    )
+                )
+        faults.sort(key=lambda f: f.time_hours)
+        return faults
+
+    def _next_scrub(self, time_hours: float) -> float:
+        s = self.params.scrub_interval_hours
+        return (int(time_hours / s) + 1) * s
+
+    # -- per-channel policies ----------------------------------------------------
+
+    def _run_channel_arcc(self, faults: List[_PlacedFault]) -> bool:
+        """True if the channel suffers an ARCC SDC.
+
+        A new fault intersecting a *not-yet-detected* fault defeats the
+        relaxed code's single-symbol detection: SDC. Intersections with
+        detected faults hit upgraded pages, where double detection holds.
+        """
+        present: List[_PlacedFault] = []
+        for fault in faults:
+            for old in present:
+                if old.time_hours < fault.time_hours:
+                    old.detected = (
+                        old.detected
+                        or self._next_scrub(old.time_hours)
+                        <= fault.time_hours
+                    )
+            for old in present:
+                if not old.detected and fault.footprint_intersects(old):
+                    return True
+            present.append(fault)
+        return False
+
+    def _run_channel_sccdcd(
+        self, faults: List[_PlacedFault]
+    ) -> Tuple[bool, bool]:
+        """(had_due, had_sdc) for plain SCCDCD.
+
+        A pair of intersecting faults is a DUE once detected (machine
+        retired). An SDC requires a third fault to intersect an
+        *undetected* pair.
+        """
+        present: List[_PlacedFault] = []
+        undetected_pairs: List[Tuple[_PlacedFault, _PlacedFault, float]] = []
+        for fault in faults:
+            # Retire pairs whose detection scrub has passed: DUE.
+            for a, b, formed in undetected_pairs:
+                if self._next_scrub(formed) <= fault.time_hours:
+                    return True, False  # DUE, machine replaced
+            for a, b, formed in undetected_pairs:
+                if fault.footprint_intersects(a) or fault.footprint_intersects(
+                    b
+                ):
+                    return False, True  # triple before detection: SDC
+            for old in present:
+                if fault.footprint_intersects(old):
+                    undetected_pairs.append(
+                        (old, fault, fault.time_hours)
+                    )
+            present.append(fault)
+        return bool(undetected_pairs), False
+
+    def _run_channel_sparing(self, faults: List[_PlacedFault]) -> bool:
+        """True if double chip sparing takes a DUE (pair within a scrub)."""
+        present: List[_PlacedFault] = []
+        for fault in faults:
+            for old in present:
+                detected = (
+                    self._next_scrub(old.time_hours) <= fault.time_hours
+                )
+                if not detected and fault.footprint_intersects(old):
+                    return True
+            present.append(fault)
+        return False
+
+    # -- population ---------------------------------------------------------------
+
+    def run(self, channels: int, years: float) -> ReliabilityOutcome:
+        """Simulate a population and count failing machines per policy."""
+        outcome = ReliabilityOutcome(channels=channels, years=years)
+        for rng in split_rng(self.seed, channels):
+            faults = self._sample_faults(rng, years)
+            if len(faults) < 2:
+                continue
+            if self._run_channel_arcc(
+                [_copy(f) for f in faults]
+            ):
+                outcome.sdc_machines_arcc += 1
+            due, sdc = self._run_channel_sccdcd([_copy(f) for f in faults])
+            if due:
+                outcome.due_machines_sccdcd += 1
+            if sdc:
+                outcome.sdc_machines_sccdcd += 1
+            if self._run_channel_sparing([_copy(f) for f in faults]):
+                outcome.due_machines_sparing += 1
+        return outcome
+
+
+def _copy(fault: _PlacedFault) -> _PlacedFault:
+    return _PlacedFault(
+        time_hours=fault.time_hours,
+        fault_type=fault.fault_type,
+        rank=fault.rank,
+        device=fault.device,
+        bank=fault.bank,
+        row=fault.row,
+        column=fault.column,
+    )

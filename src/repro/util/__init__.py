@@ -1,0 +1,48 @@
+"""Shared utilities: bit manipulation, unit constants, RNG, stats, tables."""
+
+from repro.util.bitops import (
+    bit_count,
+    bytes_to_symbols,
+    extract_bits,
+    insert_bits,
+    parity,
+    symbols_to_bytes,
+)
+from repro.util.rng import make_rng, split_rng
+from repro.util.stats import (
+    OnlineStats,
+    confidence_interval,
+    geometric_mean,
+    harmonic_mean,
+)
+from repro.util.tables import format_table
+from repro.util.units import (
+    FIT_TO_PER_HOUR,
+    GB,
+    HOURS_PER_YEAR,
+    KB,
+    MB,
+    SECONDS_PER_HOUR,
+)
+
+__all__ = [
+    "FIT_TO_PER_HOUR",
+    "GB",
+    "HOURS_PER_YEAR",
+    "KB",
+    "MB",
+    "OnlineStats",
+    "SECONDS_PER_HOUR",
+    "bit_count",
+    "bytes_to_symbols",
+    "confidence_interval",
+    "extract_bits",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "insert_bits",
+    "make_rng",
+    "parity",
+    "split_rng",
+    "symbols_to_bytes",
+]

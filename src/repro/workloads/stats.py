@@ -1,0 +1,100 @@
+"""Trace-statistics validation: measure what the generator promises.
+
+The synthetic traces substitute for SPEC runs, so the substitution needs a
+measurement tool: given a stream, recover the effective spatial locality,
+write fraction and memory intensity, and compare them against the profile
+that generated it. Tests use this to keep the workload substrate honest;
+users can run it against their own traces before trusting the simulator's
+conclusions about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.workloads.spec import BenchmarkProfile
+from repro.workloads.trace import TraceAccess
+
+
+@dataclass
+class TraceStatistics:
+    """Measured characteristics of one access stream."""
+
+    accesses: int
+    sequential_fraction: float
+    write_fraction: float
+    mean_gap_instructions: float
+    unique_lines: int
+    unique_pages: int
+
+    @property
+    def effective_mpki(self) -> float:
+        """Memory accesses per kilo-instruction implied by the gaps."""
+        if self.mean_gap_instructions <= 0:
+            return 0.0
+        return 1000.0 / self.mean_gap_instructions
+
+
+def measure_trace(
+    accesses: Iterable[TraceAccess], limit: Optional[int] = None
+) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` over (up to ``limit``) accesses."""
+    count = 0
+    sequential = 0
+    writes = 0
+    gap_total = 0
+    last_line: Optional[int] = None
+    lines = set()
+    pages = set()
+    for access in accesses:
+        count += 1
+        if last_line is not None and access.line_address == last_line + 1:
+            sequential += 1
+        last_line = access.line_address
+        if access.is_write:
+            writes += 1
+        gap_total += access.instructions_since_last
+        lines.add(access.line_address)
+        pages.add(access.line_address // 64)
+        if limit is not None and count >= limit:
+            break
+    if count == 0:
+        raise ValueError("empty trace")
+    transitions = max(count - 1, 1)
+    return TraceStatistics(
+        accesses=count,
+        sequential_fraction=sequential / transitions,
+        write_fraction=writes / count,
+        mean_gap_instructions=gap_total / count,
+        unique_lines=len(lines),
+        unique_pages=len(pages),
+    )
+
+
+def validate_against_profile(
+    stats: TraceStatistics,
+    profile: BenchmarkProfile,
+    locality_tolerance: float = 0.10,
+    write_tolerance: float = 0.08,
+    intensity_tolerance: float = 0.25,
+) -> bool:
+    """True when measured statistics match the generating profile.
+
+    Tolerances are absolute for the two fractions and relative for the
+    intensity (a renewal process has more variance there).
+    """
+    locality_ok = (
+        abs(stats.sequential_fraction - profile.spatial_locality)
+        <= locality_tolerance
+    )
+    write_ok = (
+        abs(stats.write_fraction - (1.0 - profile.read_fraction))
+        <= write_tolerance
+    )
+    expected_mpki = profile.llc_mpki
+    intensity_ok = (
+        abs(stats.effective_mpki - expected_mpki)
+        <= intensity_tolerance * expected_mpki
+    )
+    return locality_ok and write_ok and intensity_ok

@@ -1,0 +1,191 @@
+"""Tests for ARCC applied to LOT-ECC and VECC (Chapter 5)."""
+
+import random
+
+import pytest
+
+from repro.core.lotecc_arcc import (
+    WORST_CASE_UPGRADE_FACTOR,
+    ArccLotEcc,
+    LotPageMode,
+    lotecc_lifetime_overhead,
+)
+from repro.core.vecc_arcc import ArccVecc, VeccPageMode, _RelaxedVecc9
+from repro.ecc.base import DecodeStatus
+
+
+def random_line(seed):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+class TestArccLotEcc:
+    def _with_data(self, pages=4):
+        memory = ArccLotEcc(pages=pages)
+        payloads = {}
+        for line in range(0, pages * 64, 5):
+            data = random_line(line)
+            memory.write_line(line, data)
+            payloads[line] = data
+        return memory, payloads
+
+    def test_roundtrip(self):
+        memory, payloads = self._with_data()
+        for line, data in payloads.items():
+            got, result = memory.read_line(line)
+            assert got == data
+            assert result.status == DecodeStatus.NO_ERROR
+
+    def test_pages_start_relaxed(self):
+        memory, _ = self._with_data()
+        assert all(
+            memory.mode_of(p) == LotPageMode.RELAXED_9
+            for p in range(memory.pages)
+        )
+        assert memory.fraction_upgraded() == 0.0
+
+    def test_unwritten_line_reads_zero(self):
+        memory = ArccLotEcc(pages=1)
+        got, result = memory.read_line(63)
+        assert got == bytes(64) and result.ok
+
+    def test_fault_corrected_then_upgraded(self):
+        memory, payloads = self._with_data()
+        memory.inject_device_fault(page=0, device=2)
+        got, result = memory.read_line(0)
+        assert result.status == DecodeStatus.CORRECTED
+        assert got == payloads[0]
+        upgraded = memory.scrub()
+        assert upgraded == [0]
+        assert memory.mode_of(0) == LotPageMode.UPGRADED_18
+        assert memory.stats.pages_upgraded == 1
+
+    def test_data_survives_upgrade(self):
+        memory, payloads = self._with_data()
+        memory.inject_device_fault(page=0, device=2)
+        memory.scrub()
+        for line, data in payloads.items():
+            got, _ = memory.read_line(line)
+            assert got == data
+
+    def test_scrub_idempotent(self):
+        memory, _ = self._with_data()
+        memory.inject_device_fault(page=1, device=0)
+        assert memory.scrub() == [1]
+        assert memory.scrub() == []
+
+    def test_access_cost_asymmetry(self):
+        """Relaxed reads: 9 devices. Upgraded reads: 2x18 devices (the
+        checksum line costs a second access, Section 5.2)."""
+        memory, _ = self._with_data(pages=2)
+        before = memory.stats.device_accesses
+        memory.read_line(64)  # page 1, relaxed
+        relaxed_cost = memory.stats.device_accesses - before
+
+        memory.inject_device_fault(page=0, device=1)
+        memory.scrub()
+        before = memory.stats.device_accesses
+        memory.read_line(0)  # page 0, upgraded
+        upgraded_cost = memory.stats.device_accesses - before
+        assert relaxed_cost == 9
+        assert upgraded_cost == 36
+        assert upgraded_cost / relaxed_cost == WORST_CASE_UPGRADE_FACTOR
+
+    def test_out_of_range_rejected(self):
+        memory = ArccLotEcc(pages=1)
+        with pytest.raises(ValueError):
+            memory.read_line(64)
+        with pytest.raises(ValueError):
+            memory.inject_device_fault(page=1, device=0)
+
+
+class TestLotEccLifetimeOverhead:
+    def test_monotone_in_time(self):
+        series = lotecc_lifetime_overhead(
+            years=7, channels=200, rate_multiplier=4.0
+        )
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_monotone_in_rate(self):
+        low = lotecc_lifetime_overhead(years=7, channels=200,
+                                       rate_multiplier=1.0)
+        high = lotecc_lifetime_overhead(years=7, channels=200,
+                                        rate_multiplier=4.0)
+        assert high[-1] > low[-1]
+
+    def test_paper_band_at_1x(self):
+        """Paper: ~1.6% average overhead over 7 years at 1x."""
+        series = lotecc_lifetime_overhead(years=7, channels=500,
+                                          rate_multiplier=1.0)
+        assert 0.001 < series[-1] < 0.05
+
+    def test_paper_band_at_4x(self):
+        """Paper: no more than ~6.3% at 4x."""
+        series = lotecc_lifetime_overhead(years=7, channels=500,
+                                          rate_multiplier=4.0)
+        assert series[-1] < 0.15
+
+
+class TestArccVecc:
+    def _with_data(self, pages=4):
+        memory = ArccVecc(pages=pages)
+        payloads = {}
+        for line in range(0, pages * 64, 7):
+            data = random_line(line + 50)
+            memory.write_line(line, data)
+            payloads[line] = data
+        return memory, payloads
+
+    def test_roundtrip(self):
+        memory, payloads = self._with_data()
+        for line, data in payloads.items():
+            got, result = memory.read_line(line)
+            assert got == data and result.ok
+
+    def test_relaxed_clean_read_is_nine_devices(self):
+        memory, _ = self._with_data()
+        before = memory.stats.device_accesses
+        memory.read_line(0)
+        assert memory.stats.device_accesses - before == 9
+
+    def test_fault_takes_slow_path(self):
+        memory, payloads = self._with_data()
+        memory.inject_device_fault(page=0, device=1)
+        got, result = memory.read_line(0)
+        assert result.status == DecodeStatus.CORRECTED
+        assert got == payloads[0]
+        assert memory.stats.slow_path_reads >= 1
+
+    def test_scrub_upgrades_to_18_device_vecc(self):
+        memory, payloads = self._with_data()
+        memory.inject_device_fault(page=0, device=1)
+        assert memory.scrub() == [0]
+        assert memory.mode_of(0) == VeccPageMode.UPGRADED_18
+        assert memory.devices_per_access(0) == 18
+        assert memory.devices_per_access(1) == 9
+        for line, data in payloads.items():
+            got, _ = memory.read_line(line)
+            assert got == data
+
+    def test_fraction_upgraded(self):
+        memory, _ = self._with_data()
+        memory.inject_device_fault(page=2, device=0)
+        memory.scrub()
+        assert memory.fraction_upgraded() == pytest.approx(0.25)
+
+    def test_relaxed_codec_detects_single_symbol(self):
+        codec = _RelaxedVecc9()
+        rank, corr = codec.encode_line(bytes(range(64)))
+        assert codec.detect_line(rank).status == DecodeStatus.NO_ERROR
+        bad = [list(cw) for cw in rank]
+        for cw in bad:
+            cw[3] ^= 0x10
+        assert codec.detect_line(bad).status == DecodeStatus.DETECTED_UE
+        result = codec.correct_line(bad, corr)
+        assert result.status == DecodeStatus.CORRECTED
+        assert result.data == bytes(range(64))
+
+    def test_page_mode_bounds(self):
+        memory = ArccVecc(pages=2)
+        with pytest.raises(ValueError):
+            memory.mode_of(2)

@@ -1,0 +1,95 @@
+"""Tests for physical-address mapping policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG
+from repro.dram.addressing import AddressMapping, MappingPolicy
+
+POLICIES = list(MappingPolicy)
+
+
+@pytest.fixture(params=POLICIES, ids=[p.value for p in POLICIES])
+def mapping(request):
+    return AddressMapping(ARCC_MEMORY_CONFIG, request.param)
+
+
+class TestDecode:
+    def test_negative_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.decode(-1)
+
+    def test_fields_in_range(self, mapping):
+        cfg = ARCC_MEMORY_CONFIG
+        for addr in range(0, 4096, 17):
+            d = mapping.decode(addr)
+            assert 0 <= d.channel < cfg.channels
+            assert 0 <= d.rank < cfg.ranks_per_channel
+            assert 0 <= d.bank < cfg.banks_per_device
+            assert 0 <= d.column < mapping.lines_per_row
+
+    def test_adjacent_lines_alternate_channels(self, mapping):
+        """The property Figure 4.1 depends on: sub-lines of an upgraded
+        line live on different channels."""
+        for addr in range(0, 512, 2):
+            assert (
+                mapping.decode(addr).channel
+                != mapping.decode(addr + 1).channel
+            )
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_encode_decode_roundtrip(self, addr):
+        mapping = AddressMapping(ARCC_MEMORY_CONFIG, MappingPolicy.HIPERF)
+        assert mapping.encode(mapping.decode(addr)) == addr
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_close_page_roundtrip(self, addr):
+        mapping = AddressMapping(
+            ARCC_MEMORY_CONFIG, MappingPolicy.CLOSE_PAGE
+        )
+        assert mapping.encode(mapping.decode(addr)) == addr
+
+    def test_distinct_addresses_distinct_locations(self, mapping):
+        seen = set()
+        for addr in range(2048):
+            d = mapping.decode(addr)
+            key = (d.channel, d.rank, d.bank, d.row, d.column)
+            assert key not in seen, f"collision at {addr}"
+            seen.add(key)
+
+
+class TestSiblings:
+    def test_sibling_is_involution(self, mapping):
+        for addr in (0, 1, 17, 1000):
+            assert mapping.sibling_line(mapping.sibling_line(addr)) == addr
+
+    def test_sibling_pairs_even_odd(self, mapping):
+        assert mapping.sibling_line(4) == 5
+        assert mapping.sibling_line(5) == 4
+
+    def test_sibling_same_page(self, mapping):
+        """Both sub-lines of an upgraded line are in the same 4 KB page,
+        so one page-table mode bit covers both."""
+        for addr in range(0, 256):
+            assert mapping.page_of(addr) == mapping.page_of(
+                mapping.sibling_line(addr)
+            )
+
+
+class TestPages:
+    def test_page_of(self, mapping):
+        assert mapping.page_of(0) == 0
+        assert mapping.page_of(63) == 0
+        assert mapping.page_of(64) == 1
+
+    def test_lines_of_page(self, mapping):
+        lines = list(mapping.lines_of_page(2))
+        assert len(lines) == 64
+        assert lines[0] == 128 and lines[-1] == 191
+
+    def test_baseline_mapping_works_too(self):
+        mapping = AddressMapping(BASELINE_MEMORY_CONFIG)
+        d = mapping.decode(12345)
+        assert 0 <= d.channel < BASELINE_MEMORY_CONFIG.channels
+        assert mapping.encode(d) == 12345

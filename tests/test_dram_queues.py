@@ -1,0 +1,139 @@
+"""Tests for the two sub-line pairing queue designs (Section 4.2.4)."""
+
+import pytest
+
+from repro.dram.command import MemoryRequest
+from repro.dram.queues import (
+    IssueSlot,
+    PartitionedFifoQueues,
+    PointerFlagQueues,
+)
+
+
+def make_request(line):
+    return MemoryRequest(line_address=line, is_write=False, arrival_ns=0.0)
+
+
+def make_pair(base):
+    return make_request(base), make_request(base + 1)
+
+
+@pytest.fixture(params=[PartitionedFifoQueues, PointerFlagQueues])
+def queues(request):
+    return request.param(channels=2)
+
+
+class TestCommonBehaviour:
+    def test_needs_two_channels(self, queues):
+        with pytest.raises(ValueError):
+            type(queues)(channels=1)
+
+    def test_pair_must_cross_channels(self, queues):
+        a, b = make_pair(0)
+        with pytest.raises(ValueError):
+            queues.enqueue_pair((0, a), (0, b))
+
+    def test_empty_issue_none(self, queues):
+        assert queues.issue() is None
+
+    def test_regular_issues_alone(self, queues):
+        queues.enqueue_regular(0, make_request(7))
+        slot = queues.issue()
+        assert slot is not None and not slot.is_paired
+        assert slot.requests[0].line_address == 7
+        assert queues.pending == 0
+
+    def test_pair_issues_together(self, queues):
+        a, b = make_pair(0)
+        queues.enqueue_pair((0, a), (1, b))
+        slot = queues.issue()
+        assert slot is not None and slot.is_paired
+        issued = {r.line_address for r in slot.requests}
+        assert issued == {0, 1}
+        assert queues.pending == 0
+
+    def test_pairs_never_split(self, queues):
+        """Drain a mixed workload; every paired request must leave in the
+        same slot as its partner."""
+        pairs = []
+        for i in range(4):
+            a, b = make_pair(100 + 2 * i)
+            queues.enqueue_pair((i % 2, a), (1 - i % 2, b))
+            pairs.append((a.request_id, b.request_id))
+        for i in range(6):
+            queues.enqueue_regular(i % 2, make_request(i))
+
+        partner = {}
+        for a, b in pairs:
+            partner[a] = b
+            partner[b] = a
+        while queues.pending:
+            slot = queues.issue()
+            assert slot is not None
+            ids = [r.request_id for r in slot.requests]
+            if slot.is_paired:
+                assert partner[ids[0]] == ids[1]
+            else:
+                assert ids[0] not in partner
+
+    def test_drains_everything(self, queues):
+        for i in range(3):
+            a, b = make_pair(2 * i)
+            queues.enqueue_pair((0, a), (1, b))
+        queues.enqueue_regular(0, make_request(99))
+        issued = 0
+        while queues.pending:
+            slot = queues.issue()
+            issued += len(slot.requests)
+        assert issued == 7
+
+
+class TestPartitionedFifo:
+    def test_alternates_classes(self):
+        queues = PartitionedFifoQueues()
+        a, b = make_pair(0)
+        queues.enqueue_pair((0, a), (1, b))
+        queues.enqueue_regular(0, make_request(50))
+        first = queues.issue()
+        second = queues.issue()
+        kinds = {first.is_paired, second.is_paired}
+        assert kinds == {True, False}
+
+    def test_fifo_order_of_pairs(self):
+        queues = PartitionedFifoQueues()
+        for i in range(3):
+            a, b = make_pair(2 * i)
+            queues.enqueue_pair((0, a), (1, b))
+        bases = []
+        while queues.pending:
+            slot = queues.issue()
+            if slot and slot.is_paired:
+                bases.append(min(r.line_address for r in slot.requests))
+        assert bases == [0, 2, 4]
+
+
+class TestPointerFlag:
+    def test_promotion_counted(self):
+        queues = PointerFlagQueues()
+        # Bury the partner behind regular traffic on channel 1.
+        queues.enqueue_regular(1, make_request(40))
+        queues.enqueue_regular(1, make_request(41))
+        a, b = make_pair(0)
+        queues.enqueue_pair((0, a), (1, b))
+        slot = queues.issue()  # head of channel 0 is the sub-line
+        assert slot.is_paired
+        assert queues.promotions == 1
+        # The buried regular requests still drain afterwards.
+        remaining = []
+        while queues.pending:
+            remaining.extend(
+                r.line_address for r in queues.issue().requests
+            )
+        assert set(remaining) == {40, 41}
+
+    def test_no_promotion_when_heads_align(self):
+        queues = PointerFlagQueues()
+        a, b = make_pair(0)
+        queues.enqueue_pair((0, a), (1, b))
+        queues.issue()
+        assert queues.promotions == 0

@@ -1,0 +1,244 @@
+"""Tests for double chip sparing, LOT-ECC and VECC codecs."""
+
+import random
+
+import pytest
+
+from repro.ecc.base import CodecError, DecodeStatus
+from repro.ecc.lotecc import LotEcc9, LotEcc18
+from repro.ecc.sparing import DoubleChipSparing
+from repro.ecc.vecc import Vecc
+
+
+def random_line(size=64, seed=0):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(size))
+
+
+def corrupt_device(codewords, device, pattern=0x3C):
+    out = [list(cw) for cw in codewords]
+    for cw in out:
+        cw[device] ^= pattern
+    return out
+
+
+class TestDoubleChipSparing:
+    def test_geometry(self):
+        sp = DoubleChipSparing()
+        assert sp.devices == 36 and sp.data_devices == 32
+        assert sp.check_devices == 3  # the efficient encoding of Ch. 2
+        assert sp.spare_device == 35
+
+    def test_too_few_redundant_rejected(self):
+        with pytest.raises(CodecError):
+            DoubleChipSparing(devices=33, data_devices=32)
+
+    def test_clean_roundtrip(self):
+        sp = DoubleChipSparing()
+        data = random_line(seed=1)
+        result = sp.decode_line(sp.encode_line(data))
+        assert result.status == DecodeStatus.NO_ERROR
+        assert result.data == data
+
+    def test_single_device_corrected(self):
+        sp = DoubleChipSparing()
+        data = random_line(seed=2)
+        corrupted = corrupt_device(sp.encode_line(data), 5)
+        result = sp.decode_line(corrupted)
+        assert result.status == DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_simultaneous_double_detected_not_corrected(self):
+        """The ordering condition of Chapter 2: two bad devices at once
+        exceed the code."""
+        sp = DoubleChipSparing()
+        corrupted = corrupt_device(
+            corrupt_device(sp.encode_line(random_line(seed=3)), 5), 11
+        )
+        assert sp.decode_line(corrupted).status == DecodeStatus.DETECTED_UE
+
+    def test_sequential_double_corrected_via_spare(self):
+        """Detect -> remap -> absorb the second failure."""
+        sp = DoubleChipSparing()
+        data = random_line(seed=4)
+        cws = sp.encode_line(data)
+        faulty = corrupt_device(cws, 5)
+        assert sp.decode_line(faulty).status == DecodeStatus.CORRECTED
+        # Remap using the *corrected* content (re-encode then remap).
+        remapped = sp.remap(5, sp.encode_line(data))
+        assert sp.can_absorb_second_fault
+        # Device 5 keeps failing AND device 11 dies too.
+        double = corrupt_device(corrupt_device(remapped, 5), 11)
+        result = sp.decode_line(double)
+        assert result.status == DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_spare_single_use(self):
+        sp = DoubleChipSparing()
+        cws = sp.encode_line(random_line(seed=5))
+        sp.remap(3, cws)
+        with pytest.raises(CodecError):
+            sp.remap(4, cws)
+        sp.reset()
+        assert not sp.can_absorb_second_fault
+
+    def test_cannot_remap_spare_itself(self):
+        sp = DoubleChipSparing()
+        with pytest.raises(CodecError):
+            sp.remap(35, sp.encode_line(bytes(64)))
+
+    def test_wrong_codeword_count(self):
+        sp = DoubleChipSparing()
+        with pytest.raises(CodecError):
+            sp.decode_line([[0] * 36])
+
+
+class TestLotEcc9:
+    def test_geometry(self):
+        codec = LotEcc9()
+        assert codec.devices == 9 and codec.data_devices == 8
+        assert codec.segment_bytes == 8
+        assert codec.writes_per_write == 2  # the extra tier-2 write
+
+    def test_clean_roundtrip(self):
+        codec = LotEcc9()
+        data = random_line(seed=6)
+        line = codec.encode_line(data)
+        result = codec.decode_line(line)
+        assert result.status == DecodeStatus.NO_ERROR
+        assert result.data == data
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(CodecError):
+            LotEcc9().encode_line(bytes(65))
+
+    def test_single_device_corrected(self):
+        codec = LotEcc9()
+        data = random_line(seed=7)
+        line = codec.encode_line(data)
+        for device in range(8):
+            bad = line.copy()
+            bad.segments[device] = bytes(
+                b ^ 0x0F for b in bad.segments[device]
+            )
+            result = codec.decode_line(bad)
+            assert result.status == DecodeStatus.CORRECTED
+            assert result.data == data
+            assert result.error_positions == (device,)
+
+    def test_double_device_detected(self):
+        codec = LotEcc9()
+        bad = codec.encode_line(random_line(seed=8)).copy()
+        for device in (1, 6):
+            bad.segments[device] = bytes(
+                b ^ 0xFF for b in bad.segments[device]
+            )
+        assert codec.decode_line(bad).status == DecodeStatus.DETECTED_UE
+
+    def test_checksum_aliasing_is_silent(self):
+        """The weaker detection guarantee the paper calls out: a byte swap
+        keeps the one's-complement checksum and the XOR parity can't see
+        what tier 1 never localizes."""
+        codec = LotEcc9()
+        data = b"\x01\x02" + bytes(62)
+        line = codec.encode_line(data)
+        bad = line.copy()
+        bad.segments[0] = b"\x02\x01" + bad.segments[0][2:]
+        result = codec.decode_line(bad)
+        assert result.status == DecodeStatus.NO_ERROR  # silent!
+        assert result.data != data  # ...and wrong: an SDC
+
+
+class TestLotEcc18:
+    def test_geometry(self):
+        codec = LotEcc18()
+        assert codec.devices == 18 and codec.data_devices == 16
+        assert codec.reads_per_read == 2  # checksum line in another line
+
+    def test_roundtrip_and_correction(self):
+        codec = LotEcc18()
+        data = random_line(seed=9)
+        line = codec.encode_line(data)
+        assert codec.decode_line(line).data == data
+        bad = line.copy()
+        bad.segments[3] = bytes(b ^ 0xA0 for b in bad.segments[3])
+        result = codec.decode_line(bad)
+        assert result.status == DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_remap_enables_second_fault(self):
+        codec = LotEcc18()
+        data = random_line(seed=10)
+        line = codec.encode_line(data)
+        bad = line.copy()
+        bad.segments[3] = bytes(b ^ 0xA0 for b in bad.segments[3])
+        remapped = codec.remap(3, bad)
+        assert codec.can_absorb_second_fault
+        # A second device fails after the remap: still correctable.
+        bad2 = remapped.copy()
+        bad2.segments[7] = bytes(b ^ 0x55 for b in bad2.segments[7])
+        result = codec.decode_line(bad2)
+        assert result.status == DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_remap_bad_device_rejected(self):
+        codec = LotEcc18()
+        with pytest.raises(CodecError):
+            codec.remap(16, codec.encode_line(bytes(64)))
+
+    def test_remap_uncorrectable_rejected(self):
+        codec = LotEcc18()
+        line = codec.encode_line(random_line(seed=11))
+        for device in (0, 1):
+            line.segments[device] = bytes(
+                b ^ 0xFF for b in line.segments[device]
+            )
+        with pytest.raises(CodecError):
+            codec.remap(0, line)
+
+
+class TestVecc:
+    def test_clean_fast_path(self):
+        vecc = Vecc()
+        data = random_line(seed=12)
+        rank, corr = vecc.encode_line(data)
+        assert len(rank[0]) == 18 and len(corr[0]) == 2
+        result = vecc.detect_line(rank)
+        assert result.status == DecodeStatus.NO_ERROR
+        assert result.data == data
+
+    def test_error_triggers_slow_path(self):
+        vecc = Vecc()
+        data = random_line(seed=13)
+        rank, corr = vecc.encode_line(data)
+        bad = corrupt_device(rank, 4, 0x77)
+        assert vecc.detect_line(bad).status == DecodeStatus.DETECTED_UE
+        result, accesses = vecc.decode_line(bad, corr)
+        assert result.status == DecodeStatus.CORRECTED
+        assert result.data == data
+        assert accesses == vecc.devices_per_corrected_access
+
+    def test_clean_read_cost(self):
+        vecc = Vecc()
+        rank, corr = vecc.encode_line(random_line(seed=14))
+        _, accesses = vecc.decode_line(rank, corr)
+        assert accesses == vecc.devices_per_clean_read == 18
+
+    def test_double_device_corrected_on_slow_path(self):
+        """VECC's four total check symbols provide double chipkill
+        correct (Section 5.2)."""
+        vecc = Vecc()
+        data = random_line(seed=15)
+        rank, corr = vecc.encode_line(data)
+        bad = corrupt_device(corrupt_device(rank, 4, 0x77), 12, 0x31)
+        result, _ = vecc.decode_line(bad, corr)
+        assert result.status == DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_wrong_shapes_rejected(self):
+        vecc = Vecc()
+        rank, corr = vecc.encode_line(bytes(64))
+        with pytest.raises(CodecError):
+            vecc.correct_line(rank, corr[:-1])
+        with pytest.raises(CodecError):
+            vecc.encode_line(bytes(63))

@@ -1,0 +1,217 @@
+"""Tests for the Chapter 6 reliability models (analytical + Monte Carlo)."""
+
+import pytest
+
+from repro.faults.types import FaultType
+from repro.reliability.analytical import (
+    ReliabilityParams,
+    expected_sdc_arcc,
+    expected_sdc_sccdcd,
+    overlap_probability,
+    sdc_events_per_1000_machine_years,
+    sdc_rate_arcc_ded,
+)
+from repro.reliability.due import (
+    due_rate_sccdcd,
+    due_rate_sparing,
+    due_reduction_factor,
+)
+from repro.reliability.montecarlo import (
+    MonteCarloReliability,
+    _PlacedFault,
+)
+
+
+class TestOverlapProbability:
+    def setup_method(self):
+        self.params = ReliabilityParams()
+
+    def test_device_overlaps_everything(self):
+        for other in FaultType:
+            if other == FaultType.BIT:
+                continue
+            assert overlap_probability(
+                FaultType.DEVICE, other, self.params
+            ) == 1.0
+
+    def test_lane_overlaps_everything(self):
+        assert overlap_probability(
+            FaultType.LANE, FaultType.ROW, self.params
+        ) == 1.0
+
+    def test_row_row(self):
+        assert overlap_probability(
+            FaultType.ROW, FaultType.ROW, self.params
+        ) == pytest.approx(1.0 / (8 * 16384))
+
+    def test_column_column(self):
+        assert overlap_probability(
+            FaultType.COLUMN, FaultType.COLUMN, self.params
+        ) == pytest.approx(1.0 / (8 * 2048))
+
+    def test_row_column_cross_in_same_bank(self):
+        assert overlap_probability(
+            FaultType.ROW, FaultType.COLUMN, self.params
+        ) == pytest.approx(1.0 / 8)
+
+    def test_symmetric(self):
+        for a in FaultType:
+            for b in FaultType:
+                if FaultType.BIT in (a, b):
+                    continue
+                assert overlap_probability(
+                    a, b, self.params
+                ) == overlap_probability(b, a, self.params)
+
+
+class TestAnalyticalSdc:
+    def test_arcc_rate_positive(self):
+        assert sdc_rate_arcc_ded(ReliabilityParams()) > 0
+
+    def test_arcc_scales_quadratically_with_rate(self):
+        """Two faults must race one scrub: rate goes as multiplier^2."""
+        base = sdc_rate_arcc_ded(ReliabilityParams(rate_multiplier=1.0))
+        quad = sdc_rate_arcc_ded(ReliabilityParams(rate_multiplier=2.0))
+        assert quad == pytest.approx(4 * base, rel=1e-6)
+
+    def test_sccdcd_scales_cubically(self):
+        base = expected_sdc_sccdcd(
+            ReliabilityParams(rate_multiplier=1.0), 7.0
+        )
+        cubed = expected_sdc_sccdcd(
+            ReliabilityParams(rate_multiplier=2.0), 7.0
+        )
+        assert cubed == pytest.approx(8 * base, rel=1e-6)
+
+    def test_arcc_linear_in_scrub_interval(self):
+        short = sdc_rate_arcc_ded(
+            ReliabilityParams(scrub_interval_hours=1.0)
+        )
+        long = sdc_rate_arcc_ded(
+            ReliabilityParams(scrub_interval_hours=8.0)
+        )
+        assert long == pytest.approx(8 * short, rel=1e-6)
+
+    def test_sccdcd_below_arcc(self):
+        """The trade: ARCC admits more SDCs than always-on DED."""
+        params = ReliabilityParams(rate_multiplier=4.0)
+        sccdcd, arcc = sdc_events_per_1000_machine_years(7.0, params)
+        assert sccdcd < arcc
+
+    def test_both_insignificant(self):
+        """...but both are far below one event per 1000 machine-years,
+        which is the paper's point."""
+        params = ReliabilityParams(rate_multiplier=4.0)
+        sccdcd, arcc = sdc_events_per_1000_machine_years(7.0, params)
+        assert arcc < 0.01
+        assert sccdcd < 0.001
+
+    def test_expected_arcc_linear_in_lifespan(self):
+        params = ReliabilityParams()
+        assert expected_sdc_arcc(params, 6.0) == pytest.approx(
+            2 * expected_sdc_arcc(params, 3.0)
+        )
+
+    def test_invalid_lifespan_rejected(self):
+        with pytest.raises(ValueError):
+            sdc_events_per_1000_machine_years(0.0, ReliabilityParams())
+
+
+class TestDueRates:
+    def test_sparing_far_below_sccdcd(self):
+        params = ReliabilityParams()
+        assert due_rate_sparing(params) < due_rate_sccdcd(params)
+
+    def test_reduction_exceeds_cited_17x(self):
+        """Section 5.2 cites a 17x DUE reduction; the scrub-vs-repair
+        window ratio gives at least that."""
+        assert due_reduction_factor(ReliabilityParams()) >= 17.0
+
+    def test_reduction_tracks_repair_window(self):
+        params = ReliabilityParams()
+        week = due_reduction_factor(params, repair_hours=168.0)
+        month = due_reduction_factor(params, repair_hours=720.0)
+        assert month == pytest.approx(week * 720.0 / 168.0, rel=1e-6)
+
+
+class TestFootprintIntersection:
+    def _fault(self, fault_type, rank=0, device=0, bank=0, row=0, column=0):
+        return _PlacedFault(
+            time_hours=0.0,
+            fault_type=fault_type,
+            rank=rank,
+            device=device,
+            bank=bank,
+            row=row,
+            column=column,
+        )
+
+    def test_same_device_never_intersects(self):
+        a = self._fault(FaultType.DEVICE, device=3)
+        b = self._fault(FaultType.ROW, device=3)
+        assert not a.footprint_intersects(b)
+
+    def test_different_rank_no_intersection(self):
+        a = self._fault(FaultType.DEVICE, rank=0)
+        b = self._fault(FaultType.DEVICE, rank=1, device=1)
+        assert not a.footprint_intersects(b)
+
+    def test_lane_crosses_ranks(self):
+        a = self._fault(FaultType.LANE, rank=0)
+        b = self._fault(FaultType.DEVICE, rank=1, device=5)
+        assert a.footprint_intersects(b)
+
+    def test_rows_need_same_bank_and_row(self):
+        a = self._fault(FaultType.ROW, device=0, bank=2, row=7)
+        same = self._fault(FaultType.ROW, device=1, bank=2, row=7)
+        other_row = self._fault(FaultType.ROW, device=1, bank=2, row=8)
+        other_bank = self._fault(FaultType.ROW, device=1, bank=3, row=7)
+        assert a.footprint_intersects(same)
+        assert not a.footprint_intersects(other_row)
+        assert not a.footprint_intersects(other_bank)
+
+    def test_row_column_cross(self):
+        a = self._fault(FaultType.ROW, device=0, bank=1, row=5)
+        b = self._fault(FaultType.COLUMN, device=1, bank=1, column=99)
+        assert a.footprint_intersects(b)
+
+
+class TestMonteCarlo:
+    def test_no_failures_at_tiny_rates(self):
+        mc = MonteCarloReliability(
+            ReliabilityParams(rate_multiplier=0.01), seed=1
+        )
+        outcome = mc.run(channels=50, years=1.0)
+        assert outcome.sdc_machines_arcc == 0
+        assert outcome.sdc_machines_sccdcd == 0
+
+    def test_elevated_rates_produce_due_and_order(self):
+        """At strongly elevated rates the ordering must hold: sparing DUEs
+        <= SCCDCD DUEs, and ARCC SDCs >= SCCDCD SDCs."""
+        mc = MonteCarloReliability(
+            ReliabilityParams(rate_multiplier=400.0), seed=2
+        )
+        outcome = mc.run(channels=150, years=7.0)
+        assert outcome.due_machines_sccdcd >= outcome.due_machines_sparing
+        assert outcome.sdc_machines_arcc >= outcome.sdc_machines_sccdcd
+        assert outcome.due_machines_sccdcd > 0  # rates high enough to see
+
+    def test_per_1000_machine_years_scaling(self):
+        mc = MonteCarloReliability(seed=3)
+        outcome = mc.run(channels=10, years=5.0)
+        assert outcome.per_1000_machine_years(5) == pytest.approx(
+            5 * 1000.0 / 50.0
+        )
+
+    def test_empty_population_rejected(self):
+        mc = MonteCarloReliability(seed=4)
+        outcome = mc.run(channels=0, years=1.0)
+        with pytest.raises(ValueError):
+            outcome.per_1000_machine_years(0)
+
+    def test_deterministic(self):
+        params = ReliabilityParams(rate_multiplier=200.0)
+        a = MonteCarloReliability(params, seed=5).run(50, 3.0)
+        b = MonteCarloReliability(params, seed=5).run(50, 3.0)
+        assert a.sdc_machines_arcc == b.sdc_machines_arcc
+        assert a.due_machines_sccdcd == b.due_machines_sccdcd

@@ -1,0 +1,127 @@
+"""Tests for the sensitivity-study module and mapping-policy differences."""
+
+import pytest
+
+from repro.config import ARCC_MEMORY_CONFIG
+from repro.dram.addressing import AddressMapping, MappingPolicy
+from repro.experiments.sensitivity import (
+    sweep_page_size,
+    sweep_scrub_interval,
+    sweep_upgraded_fraction,
+)
+from repro.faults.types import FaultType
+from repro.util.units import KB
+
+
+class TestScrubIntervalSweep:
+    def test_sdc_monotone_in_interval(self):
+        sweep = sweep_scrub_interval()
+        hours = sorted(sweep.points)
+        sdcs = [sweep.points[h][0] for h in hours]
+        assert sdcs == sorted(sdcs)
+
+    def test_bandwidth_monotone_decreasing(self):
+        sweep = sweep_scrub_interval()
+        hours = sorted(sweep.points)
+        bws = [sweep.points[h][1] for h in hours]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_paper_interval_is_affordable(self):
+        """The 4h default sits inside the <0.1%-bandwidth region."""
+        sweep = sweep_scrub_interval()
+        assert sweep.knee_hours() >= 4.0
+
+    def test_knee_budget_unreachable_raises(self):
+        sweep = sweep_scrub_interval(intervals_hours=(0.001,))
+        with pytest.raises(ValueError):
+            sweep.knee_hours()
+
+    def test_table_renders(self):
+        assert "scrub interval" in sweep_scrub_interval().to_table()
+
+
+class TestPageSizeSweep:
+    def test_row_fraction_scales_with_page_size(self):
+        sweep = sweep_page_size()
+        small = sweep.fractions[2 * KB][FaultType.ROW]
+        large = sweep.fractions[16 * KB][FaultType.ROW]
+        assert large > small
+
+    def test_rank_level_fractions_unchanged(self):
+        """Device/lane fractions are rank-geometry facts, independent of
+        page size — small pages cannot help against big faults."""
+        sweep = sweep_page_size()
+        for page_bytes in sweep.fractions:
+            assert sweep.fractions[page_bytes][FaultType.LANE] == 1.0
+            assert sweep.fractions[page_bytes][FaultType.DEVICE] == 0.5
+
+    def test_upgrade_cost_scales_linearly(self):
+        sweep = sweep_page_size()
+        assert sweep.upgrade_lines[8 * KB] == 2 * sweep.upgrade_lines[4 * KB]
+
+    def test_table_renders(self):
+        assert "page size" in sweep_page_size().to_table()
+
+
+class TestUpgradedFractionSweep:
+    def test_extremes(self):
+        curve = sweep_upgraded_fraction()
+        assert curve.points[0.0] == (1.0, 1.0)
+        assert curve.points[1.0] == (2.0, 0.5)
+
+    def test_crossover_for_full_saving(self):
+        """With ~37% fault-free saving, worst-case power parity with the
+        baseline is crossed somewhere above half the memory upgraded —
+        i.e. only rank-scale faults can ever erase the benefit."""
+        curve = sweep_upgraded_fraction(
+            fractions=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+        )
+        assert curve.crossover_fraction(1.58) >= 0.5
+
+    def test_crossover_unreachable_raises(self):
+        curve = sweep_upgraded_fraction(fractions=(0.5,))
+        with pytest.raises(ValueError):
+            curve.crossover_fraction(1.0)
+
+    def test_table_renders(self):
+        assert "Upgraded fraction" in sweep_upgraded_fraction().to_table()
+
+
+class TestMappingPoliciesDiffer:
+    def test_base_fills_rows_first(self):
+        """BASE: consecutive same-channel lines share a bank (and row)."""
+        mapping = AddressMapping(ARCC_MEMORY_CONFIG, MappingPolicy.BASE)
+        a = mapping.decode(0)
+        b = mapping.decode(2)  # next line on the same channel
+        assert (a.bank, a.rank, a.row) == (b.bank, b.rank, b.row)
+        assert a.column != b.column
+
+    def test_hiperf_interleaves_banks_first(self):
+        """HIPERF: consecutive same-channel lines hit different banks."""
+        mapping = AddressMapping(ARCC_MEMORY_CONFIG, MappingPolicy.HIPERF)
+        a = mapping.decode(0)
+        b = mapping.decode(2)
+        assert a.bank != b.bank
+
+    def test_close_page_interleaves_ranks_first(self):
+        """CLOSE_PAGE: consecutive same-channel lines hit different ranks."""
+        mapping = AddressMapping(
+            ARCC_MEMORY_CONFIG, MappingPolicy.CLOSE_PAGE
+        )
+        a = mapping.decode(0)
+        b = mapping.decode(2)
+        assert a.rank != b.rank
+
+    def test_policies_disagree_somewhere(self):
+        mappings = [
+            AddressMapping(ARCC_MEMORY_CONFIG, policy)
+            for policy in MappingPolicy
+        ]
+        decodes = [
+            tuple(
+                (d.channel, d.rank, d.bank, d.row, d.column)
+                for d in (m.decode(addr) for addr in range(64))
+            )
+            for m in mappings
+        ]
+        assert len(set(decodes)) == 3

@@ -1,0 +1,79 @@
+"""Unit tests for repro.util.tables, .rng and .units."""
+
+import pytest
+
+from repro.util.rng import make_rng, split_rng
+from repro.util.tables import format_table
+from repro.util.units import (
+    FIT_TO_PER_HOUR,
+    GB,
+    HOURS_PER_YEAR,
+    KB,
+    MB,
+    fit_to_rate_per_hour,
+    years_to_hours,
+)
+
+
+class TestUnits:
+    def test_byte_units(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_fit_conversion(self):
+        assert fit_to_rate_per_hour(1e9) == pytest.approx(1.0)
+        assert fit_to_rate_per_hour(100.0) == pytest.approx(1e-7)
+
+    def test_years_to_hours(self):
+        assert years_to_hours(1.0) == HOURS_PER_YEAR
+        assert years_to_hours(7.0) == 7 * 8760
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(42), make_rng(42)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = make_rng(1).integers(0, 1 << 60, size=8)
+        draws_b = make_rng(2).integers(0, 1 << 60, size=8)
+        assert list(draws_a) != list(draws_b)
+
+    def test_split_count(self):
+        children = split_rng(7, 5)
+        assert len(children) == 5
+
+    def test_split_streams_independent(self):
+        children = split_rng(7, 3)
+        draws = [tuple(c.integers(0, 1 << 60, size=4)) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_split_deterministic(self):
+        first = [c.integers(1 << 30) for c in split_rng(9, 4)]
+        second = [c.integers(1 << 30) for c in split_rng(9, 4)]
+        assert first == second
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["A", "Long"], [["x", 1], ["yy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title_included(self):
+        out = format_table(["A"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["V"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["A"], [])
+        assert "A" in out
