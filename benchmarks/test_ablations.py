@@ -13,9 +13,8 @@ from conftest import emit
 from repro.cache.llc import LastLevelCache
 from repro.cache.replacement import NaivePairedLru, PairedLruPolicy
 from repro.cache.sectored import SectoredCache
-from repro.config import RELAXED_GEOMETRY, UPGRADED_GEOMETRY
+from repro.config import RELAXED_GEOMETRY, UPGRADED_GEOMETRY, ScrubConfig
 from repro.core.scrubber import scrub_bandwidth_overhead
-from repro.config import ScrubConfig
 from repro.faults.models import upgraded_page_fraction
 from repro.faults.types import FaultType
 from repro.reliability.analytical import ReliabilityParams, sdc_rate_arcc_ded

@@ -1,8 +1,12 @@
 """Figure 3.1: average fraction of faulty 4 KB pages vs lifespan."""
 
+import pytest
+
 from conftest import emit
 
 from repro.experiments.fig3_1 import run_fig3_1
+
+pytestmark = [pytest.mark.slow, pytest.mark.mc]
 
 CHANNELS = 800
 

@@ -5,11 +5,15 @@ Monte-Carlo cross-check at the elevated rate (genuine 1x SDCs need
 millions of channel-lifetimes). Also covers the Section 6.1 DUE claims.
 """
 
+import pytest
+
 from conftest import emit
 
 from repro.experiments.fig6_1 import run_fig6_1
 from repro.reliability.analytical import ReliabilityParams
 from repro.reliability.due import due_reduction_factor
+
+pytestmark = pytest.mark.mc
 
 
 def test_fig6_1_sdc_rates(once):

@@ -5,9 +5,13 @@ All 12 Table 7.3 mixes on both Table 7.1 organizations. Shape targets:
 performance gain from doubled rank-level parallelism.
 """
 
+import pytest
+
 from conftest import emit
 
 from repro.experiments.fig7_1 import run_fig7_1
+
+pytestmark = pytest.mark.slow
 
 INSTRUCTIONS = 40_000
 

@@ -7,6 +7,8 @@ performance near unity on average, with high-locality mixes improving
 (the paired fetch is a free prefetch) and low-locality mixes degrading.
 """
 
+import pytest
+
 from conftest import emit
 
 from repro.experiments.fig7_2_7_3 import run_fig7_2_7_3
@@ -14,6 +16,8 @@ from repro.faults.models import upgraded_page_fraction
 from repro.faults.types import FaultType
 from repro.perf.simulator import worst_case_power_ratio
 from repro.workloads.spec import ALL_MIXES
+
+pytestmark = pytest.mark.slow
 
 INSTRUCTIONS = 30_000
 MIXES = ALL_MIXES[:6]  # half the mixes keeps the bench under a minute

@@ -5,10 +5,14 @@ overheads of Figures 7.2/7.3 (regenerated here at reduced scale rather
 than trusting the recorded fallbacks).
 """
 
+import pytest
+
 from conftest import emit
 
 from repro.experiments.fig7_4_7_5 import measured_overheads, run_fig7_4_7_5
 from repro.workloads.spec import ALL_MIXES
+
+pytestmark = [pytest.mark.slow, pytest.mark.mc]
 
 CHANNELS = 800
 

@@ -1,8 +1,12 @@
 """Figure 7.6: ARCC+LOT-ECC worst-case overhead vs nine-device LOT-ECC."""
 
+import pytest
+
 from conftest import emit
 
 from repro.experiments.fig7_6 import run_fig7_6
+
+pytestmark = [pytest.mark.slow, pytest.mark.mc]
 
 CHANNELS = 800
 

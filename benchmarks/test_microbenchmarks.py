@@ -7,9 +7,9 @@ performance so regressions in the substrate are visible.
 import random
 
 from repro.cache.llc import LastLevelCache
+from repro.config import ARCC_MEMORY_CONFIG
 from repro.core.arcc import ARCCMemorySystem
 from repro.dram.system import MemorySystem
-from repro.config import ARCC_MEMORY_CONFIG
 from repro.ecc.chipkill import make_relaxed_codec, make_upgraded_codec
 from repro.ecc.reed_solomon import ReedSolomonCode
 

@@ -17,7 +17,6 @@ from repro.core.scrubber import Scrubber, scrub_bandwidth_overhead
 from repro.core.storage import ArccStorage, codec_for_mode
 from repro.dram.refresh import RefreshModel
 from repro.dram.timing import MICRON_512MB_X4
-from repro.faults.types import FaultType
 from repro.reliability.analytical import ReliabilityParams
 from repro.reliability.due import (
     chipkill_vs_secded_due_factor,

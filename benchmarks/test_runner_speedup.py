@@ -1,0 +1,63 @@
+"""Vectorized Monte-Carlo engine vs the legacy per-fault loop.
+
+Equal trial counts, same physics: the NumPy-batched engine must beat the
+original Python event loop by at least 5x on a single core (the PR's
+acceptance bar; in practice the margin is much larger). Both timings
+land in the CI benchmark job's ``BENCH_pr.json`` artifact.
+"""
+
+import time
+
+import pytest
+
+from conftest import emit
+
+from repro.reliability.analytical import ReliabilityParams
+from repro.reliability.montecarlo import MonteCarloReliability
+
+pytestmark = pytest.mark.mc
+
+#: Figure 6.1's Monte-Carlo cross-check scale.
+CHANNELS = 2000
+YEARS = 7.0
+PARAMS = ReliabilityParams(rate_multiplier=4.0)
+
+
+def test_bench_montecarlo_vectorized(benchmark):
+    mc = MonteCarloReliability(PARAMS, seed=0x5DC)
+    outcome = benchmark(mc.run, CHANNELS, YEARS)
+    assert outcome.channels == CHANNELS
+
+
+def test_bench_montecarlo_legacy(benchmark):
+    mc = MonteCarloReliability(PARAMS, seed=0x5DC)
+    outcome = benchmark.pedantic(
+        mc.run_legacy, args=(CHANNELS, YEARS), rounds=3, iterations=1
+    )
+    assert outcome.channels == CHANNELS
+
+
+def test_vectorized_speedup_at_least_5x(once):
+    """The PR's acceptance criterion, asserted directly."""
+    mc = MonteCarloReliability(PARAMS, seed=0x5DC)
+    mc.run(64, YEARS)  # warm NumPy dispatch out of the measurement
+
+    def measure():
+        started = time.perf_counter()
+        mc.run(CHANNELS, YEARS)
+        vectorized = time.perf_counter() - started
+        started = time.perf_counter()
+        mc.run_legacy(CHANNELS, YEARS)
+        legacy = time.perf_counter() - started
+        return vectorized, legacy
+
+    vectorized, legacy = once(measure)
+    speedup = legacy / vectorized
+    emit(
+        "Monte-Carlo engine speedup (equal trial counts)",
+        f"{CHANNELS} channels x {YEARS:g}y at 4x rates:\n"
+        f"  legacy      {legacy * 1e3:8.1f} ms\n"
+        f"  vectorized  {vectorized * 1e3:8.1f} ms\n"
+        f"  speedup     {speedup:8.1f}x  (acceptance bar: 5x)",
+    )
+    assert speedup >= 5.0

@@ -13,8 +13,8 @@ recently-proposed chipkill schemes from the paper's Chapter 5 and shows
 Run:  python examples/lotecc_vecc_extensions.py
 """
 
-from repro.core.lotecc_arcc import ArccLotEcc, LotPageMode
-from repro.core.vecc_arcc import ArccVecc, VeccPageMode
+from repro.core.lotecc_arcc import ArccLotEcc
+from repro.core.vecc_arcc import ArccVecc
 from repro.experiments.fig7_6 import run_fig7_6
 
 

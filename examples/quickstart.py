@@ -10,10 +10,8 @@ mode — while the data survives the whole ordeal.
 Run:  python examples/quickstart.py
 """
 
-import os
 
 from repro.core.arcc import ARCCMemorySystem
-from repro.core.modes import ProtectionMode
 from repro.faults.types import FaultType
 
 

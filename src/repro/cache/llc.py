@@ -20,8 +20,8 @@ the lookup trick the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.cache.replacement import PairedLruPolicy, ReplacementPolicy
 

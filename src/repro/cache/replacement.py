@@ -10,7 +10,7 @@ by the ablation benchmark to show the thrash it causes.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Protocol
+from typing import List, Optional, Protocol
 
 
 class ReplacementPolicy(Protocol):

@@ -9,8 +9,8 @@ trade-off against the paper's paired-64B design.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.cache.llc import AccessOutcome, CacheStats, Writeback
 

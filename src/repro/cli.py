@@ -3,19 +3,27 @@
 Usage::
 
     python -m repro tables                # Tables 7.1-7.4
-    python -m repro fig3.1 [--channels N] [--years Y]
-    python -m repro fig6.1 [--mc-channels N]
-    python -m repro fig7.1 [--instructions N] [--mixes K]
-    python -m repro fig7.2 [--instructions N] [--mixes K]
-    python -m repro fig7.4 [--channels N]
-    python -m repro fig7.6 [--channels N]
-    python -m repro all [--quick]
+    python -m repro fig3.1 [--channels N] [--years Y] [--jobs J]
+    python -m repro fig6.1 [--mc-channels N] [--jobs J]
+    python -m repro fig7.1 [--instructions N] [--mixes K] [--jobs J]
+    python -m repro fig7.2 [--instructions N] [--mixes K] [--jobs J]
+    python -m repro fig7.4 [--channels N] [--jobs J]
+    python -m repro fig7.6 [--channels N] [--jobs J]
+    python -m repro all [--quick] [--jobs J]
+    python -m repro run [figure ...] --jobs J [--quick] [--cache-dir D]
+
+``run`` is the parallel front door: it flattens every selected figure's
+jobs into one batch, fans them out across ``--jobs`` worker processes,
+and caches completed jobs on disk so interrupted or repeated runs only
+pay for what changed. ``--jobs 1`` and ``--jobs N`` print identical
+tables — every job owns an explicit RNG seed.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.experiments import (
@@ -30,6 +38,7 @@ from repro.experiments import (
     run_fig7_4_7_5,
     run_fig7_6,
 )
+from repro.runner import DEFAULT_CACHE_DIR, ResultCache, execute_plans
 from repro.workloads.spec import ALL_MIXES
 
 
@@ -45,12 +54,18 @@ def _cmd_tables(_: argparse.Namespace) -> None:
 
 
 def _cmd_fig3_1(args: argparse.Namespace) -> None:
-    print(run_fig3_1(years=args.years, channels=args.channels).to_table())
+    print(
+        run_fig3_1(
+            years=args.years, channels=args.channels, jobs=args.jobs
+        ).to_table()
+    )
 
 
 def _cmd_fig6_1(args: argparse.Namespace) -> None:
     print(
-        run_fig6_1(monte_carlo_channels=args.mc_channels).to_table()
+        run_fig6_1(
+            monte_carlo_channels=args.mc_channels, jobs=args.jobs
+        ).to_table()
     )
 
 
@@ -59,6 +74,7 @@ def _cmd_fig7_1(args: argparse.Namespace) -> None:
         run_fig7_1(
             mixes=ALL_MIXES[: args.mixes],
             instructions_per_core=args.instructions,
+            jobs=args.jobs,
         ).to_table()
     )
 
@@ -68,42 +84,85 @@ def _cmd_fig7_2(args: argparse.Namespace) -> None:
         run_fig7_2_7_3(
             mixes=ALL_MIXES[: args.mixes],
             instructions_per_core=args.instructions,
+            jobs=args.jobs,
         ).to_table()
     )
 
 
 def _cmd_fig7_4(args: argparse.Namespace) -> None:
-    print(run_fig7_4_7_5(channels=args.channels).to_table())
+    print(run_fig7_4_7_5(channels=args.channels, jobs=args.jobs).to_table())
 
 
 def _cmd_fig7_6(args: argparse.Namespace) -> None:
-    print(run_fig7_6(channels=args.channels).to_table())
+    print(run_fig7_6(channels=args.channels, jobs=args.jobs).to_table())
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
     quick = args.quick
+    jobs = args.jobs
     _cmd_tables(args)
-    print(run_fig3_1(channels=500 if quick else 2000).to_table())
+    print(run_fig3_1(channels=500 if quick else 2000, jobs=jobs).to_table())
     print()
-    print(run_fig6_1(monte_carlo_channels=0 if quick else 2000).to_table())
+    print(
+        run_fig6_1(
+            monte_carlo_channels=0 if quick else 2000, jobs=jobs
+        ).to_table()
+    )
     print()
     mixes = ALL_MIXES[:4] if quick else ALL_MIXES
     instructions = 20_000 if quick else 40_000
     print(
         run_fig7_1(
-            mixes=mixes, instructions_per_core=instructions
+            mixes=mixes, instructions_per_core=instructions, jobs=jobs
         ).to_table()
     )
     print()
     print(
         run_fig7_2_7_3(
-            mixes=mixes[:3], instructions_per_core=instructions
+            mixes=mixes[:3], instructions_per_core=instructions, jobs=jobs
         ).to_table()
     )
     print()
-    print(run_fig7_4_7_5(channels=500 if quick else 2000).to_table())
+    print(
+        run_fig7_4_7_5(channels=500 if quick else 2000, jobs=jobs).to_table()
+    )
     print()
-    print(run_fig7_6(channels=500 if quick else 2000).to_table())
+    print(run_fig7_6(channels=500 if quick else 2000, jobs=jobs).to_table())
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    # Deferred import: the registry pulls in every experiment module.
+    from repro.runner.registry import FIGURES, build_plans
+
+    try:
+        plans = build_plans(args.figures or None, quick=args.quick)
+    except KeyError as exc:
+        raise SystemExit(f"repro run: {exc.args[0]}") from exc
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    started = time.perf_counter()
+    results = execute_plans(plans, max_workers=args.jobs, cache=cache)
+    elapsed = time.perf_counter() - started
+    for plan, result in zip(plans, results):
+        print(result.to_table() if hasattr(result, "to_table") else result)
+        print()
+    total_jobs = sum(len(plan.jobs) for plan in plans)
+    print(
+        f"[repro run] {len(plans)} figure(s), {total_jobs} job(s), "
+        f"--jobs {args.jobs}, {elapsed:.1f}s "
+        f"(cache: {'off' if cache is None else cache.root})"
+    )
+    # Nudge discoverability of the full figure list.
+    if not args.figures:
+        print(f"[repro run] figures: {', '.join(FIGURES)}")
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = run inline; results are identical)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,33 +180,63 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig3.1", help="faulty memory vs time")
     p.add_argument("--channels", type=int, default=2000)
     p.add_argument("--years", type=int, default=7)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig3_1)
 
     p = sub.add_parser("fig6.1", help="SDC rates")
     p.add_argument("--mc-channels", type=int, default=0)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig6_1)
 
     p = sub.add_parser("fig7.1", help="fault-free power/performance")
     p.add_argument("--instructions", type=int, default=40_000)
     p.add_argument("--mixes", type=int, default=12)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig7_1)
 
     p = sub.add_parser("fig7.2", help="power/performance with faults")
     p.add_argument("--instructions", type=int, default=40_000)
     p.add_argument("--mixes", type=int, default=3)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig7_2)
 
     p = sub.add_parser("fig7.4", help="lifetime overheads")
     p.add_argument("--channels", type=int, default=2000)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig7_4)
 
     p = sub.add_parser("fig7.6", help="ARCC+LOT-ECC")
     p.add_argument("--channels", type=int, default=2000)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig7_6)
 
-    p = sub.add_parser("all", help="everything")
+    p = sub.add_parser("all", help="everything, figure by figure")
     p.add_argument("--quick", action="store_true")
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_all)
+
+    p = sub.add_parser(
+        "run",
+        help="everything (or selected figures) through the parallel runner",
+    )
+    p.add_argument(
+        "figures",
+        nargs="*",
+        help="figure keys (default: all); e.g. fig6.1 fig7.1",
+    )
+    p.add_argument("--quick", action="store_true")
+    p.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="directory for incremental job results",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every job even if cached",
+    )
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_run)
     return parser
 
 

@@ -14,8 +14,7 @@ count and the same 12.5% ECC storage overhead:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass
 
 from repro.util.units import GB, KB
 
@@ -194,6 +193,25 @@ UPGRADED_GEOMETRY = CodewordGeometry(data_symbols=32, check_symbols=4)
 #: Chapter 5 "even stronger" mode: 64 data + 8 check symbols across four
 #: channels.
 DOUBLE_UPGRADED_GEOMETRY = CodewordGeometry(data_symbols=64, check_symbols=8)
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Defaults of the parallel experiment runner (:mod:`repro.runner`).
+
+    ``mc_block_channels`` is the unit of work of a Monte-Carlo sweep:
+    each block's RNG stream derives only from the experiment seed and
+    the block index, so results never depend on how many workers execute
+    the blocks. Large enough to amortize process dispatch, small enough
+    that a 10k-channel population still spreads across a pool.
+    """
+
+    default_jobs: int = 1
+    cache_dir: str = ".repro-cache"
+    mc_block_channels: int = 1024
+
+
+RUNNER_CONFIG = RunnerConfig()
 
 
 @dataclass(frozen=True)

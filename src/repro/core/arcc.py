@@ -22,10 +22,9 @@ double faults inside one scrub interval.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
-import numpy as np
 
 from repro.config import ARCC_MEMORY_CONFIG, MemoryConfig
 from repro.core.modes import ProtectionMode

@@ -17,12 +17,12 @@ costs 4x a relaxed access — the factor behind Figure 7.6.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.ecc.base import DecodeResult, DecodeStatus
 from repro.ecc.lotecc import LotEcc9, LotEcc18, LotEccLine
-from repro.faults.lifetime import FaultEvent, LifetimeSimulator
+from repro.faults.lifetime import LifetimeSimulator
 from repro.faults.models import upgraded_page_fraction
 from repro.util.units import HOURS_PER_YEAR
 

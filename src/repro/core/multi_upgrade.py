@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.ecc.base import CodecError, DecodeResult, DecodeStatus
+from repro.ecc.base import CodecError, DecodeResult
 from repro.ecc.chipkill import ChipkillCodec, make_double_upgraded_codec
 from repro.ecc.sparing import DoubleChipSparing
 

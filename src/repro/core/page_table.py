@@ -14,8 +14,8 @@ protocol via ``initial_mode``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
 
 from repro.core.modes import ProtectionMode
 

@@ -18,9 +18,9 @@ passes; ~0.0167% of bandwidth at a four-hour cadence).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Set
 
-from repro.config import SCRUB_CONFIG, MemoryConfig, ScrubConfig
+from repro.config import SCRUB_CONFIG, ScrubConfig
 from repro.core.modes import ProtectionMode
 from repro.core.page_table import PageTable
 from repro.core.storage import ArccStorage, codec_for_mode

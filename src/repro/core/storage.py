@@ -16,7 +16,7 @@ the storage overhead never changes, which is the paper's key constraint.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.config import MemoryConfig
 from repro.core.modes import ProtectionMode

@@ -11,8 +11,8 @@ and for tests; the paper only ever upgrades.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.modes import ProtectionMode
 from repro.core.page_table import PageTable, Tlb

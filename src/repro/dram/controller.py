@@ -10,8 +10,8 @@ lockstep (both channels synchronize on the later of their ready times).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List
 
 from repro.dram.addressing import AddressMapping
 from repro.dram.channel import Channel

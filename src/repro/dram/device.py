@@ -17,7 +17,7 @@ of Section 4.2.2 — visible to write-0/write-1 probing, while the stored
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 Location = Tuple[int, int, int]  # (bank, row, column)
 

@@ -16,7 +16,7 @@ Power is accounted per *device* and rolled up per rank:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dram.timing import DevicePowerParams, DeviceTimings
 

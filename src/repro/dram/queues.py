@@ -21,7 +21,7 @@ in isolation (and because the paper devotes a design discussion to it).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dram.command import MemoryRequest

@@ -11,14 +11,14 @@ comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.config import MemoryConfig
 from repro.dram.addressing import AddressMapping, MappingPolicy
 from repro.dram.channel import Channel
 from repro.dram.command import MemoryRequest
 from repro.dram.controller import ControllerStats, MemoryController
-from repro.dram.power import PowerCounters, RankPowerModel
+from repro.dram.power import RankPowerModel
 from repro.dram.timing import power_params_for_width, timings_for_width
 
 

@@ -16,8 +16,8 @@ last two:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
 class DecodeStatus(enum.Enum):

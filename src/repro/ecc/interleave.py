@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.ecc.base import CodecError, DecodeResult, DecodeStatus
+from repro.ecc.base import CodecError, DecodeResult
 from repro.ecc.chipkill import ChipkillCodec, make_upgraded_codec
 
 

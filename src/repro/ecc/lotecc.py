@@ -23,7 +23,7 @@ and the spare device absorbs the first detected failure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.ecc.base import CodecError, DecodeResult, DecodeStatus
 from repro.ecc.checksum import (

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.ecc.base import CodecError, DecodeResult, DecodeStatus
+from repro.ecc.base import CodecError, DecodeResult
 from repro.ecc.reed_solomon import ReedSolomonCode
 from repro.gf.field import GF, GF256
 

@@ -2,16 +2,27 @@
 
 Every module exposes a ``run_*`` function returning a small result object
 with a ``to_table()`` method that prints the same rows/series the paper
-reports. The benchmark harness under ``benchmarks/`` calls these with
-reduced sample sizes; the examples call them at full scale.
+reports, plus a ``plan_*`` builder that expresses the same reproduction
+as declarative :class:`repro.runner.Job` lists for the parallel runner.
+The benchmark harness under ``benchmarks/`` calls these with reduced
+sample sizes; the examples call them at full scale; ``repro run`` fans
+every plan's jobs out across one process pool.
 """
 
-from repro.experiments.fig3_1 import Fig31Result, run_fig3_1
-from repro.experiments.fig6_1 import Fig61Result, run_fig6_1
-from repro.experiments.fig7_1 import Fig71Result, run_fig7_1
-from repro.experiments.fig7_2_7_3 import FaultOverheadResult, run_fig7_2_7_3
-from repro.experiments.fig7_4_7_5 import LifetimeOverheadResult, run_fig7_4_7_5
-from repro.experiments.fig7_6 import Fig76Result, run_fig7_6
+from repro.experiments.fig3_1 import Fig31Result, plan_fig3_1, run_fig3_1
+from repro.experiments.fig6_1 import Fig61Result, plan_fig6_1, run_fig6_1
+from repro.experiments.fig7_1 import Fig71Result, plan_fig7_1, run_fig7_1
+from repro.experiments.fig7_2_7_3 import (
+    FaultOverheadResult,
+    plan_fig7_2_7_3,
+    run_fig7_2_7_3,
+)
+from repro.experiments.fig7_4_7_5 import (
+    LifetimeOverheadResult,
+    plan_fig7_4_7_5,
+    run_fig7_4_7_5,
+)
+from repro.experiments.fig7_6 import Fig76Result, plan_fig7_6, run_fig7_6
 from repro.experiments.tables import (
     render_table_7_1,
     render_table_7_2,
@@ -26,6 +37,12 @@ __all__ = [
     "Fig71Result",
     "Fig76Result",
     "LifetimeOverheadResult",
+    "plan_fig3_1",
+    "plan_fig6_1",
+    "plan_fig7_1",
+    "plan_fig7_2_7_3",
+    "plan_fig7_4_7_5",
+    "plan_fig7_6",
     "render_table_7_1",
     "render_table_7_2",
     "render_table_7_3",

@@ -9,9 +9,10 @@ are ever affected — the headroom ARCC exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.faults.lifetime import faulty_page_fraction_timeseries
+from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
 from repro.util.tables import format_table
 
 DEFAULT_MULTIPLIERS = (1.0, 2.0, 4.0)
@@ -48,20 +49,49 @@ class Fig31Result:
         return self.series[multiplier][-1]
 
 
-def run_fig3_1(
+def plan_fig3_1(
     years: int = 7,
     channels: int = 2000,
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
     seed: int = 0xFA117,
-) -> Fig31Result:
-    """Regenerate Figure 3.1."""
-    series = {
-        mult: faulty_page_fraction_timeseries(
+) -> ExperimentPlan:
+    """Figure 3.1 as runner jobs: one lifetime sweep per rate multiplier."""
+    multipliers = tuple(multipliers)
+    jobs = [
+        Job.create(
+            f"fig3.1[{mult:g}x]",
+            faulty_page_fraction_timeseries,
             years=years,
             channels=channels,
             rate_multiplier=mult,
             seed=seed,
         )
         for mult in multipliers
-    }
-    return Fig31Result(years=years, channels=channels, series=series)
+    ]
+
+    def assemble(values: List[List[float]]) -> Fig31Result:
+        return Fig31Result(
+            years=years,
+            channels=channels,
+            series=dict(zip(multipliers, values)),
+        )
+
+    return ExperimentPlan(name="fig3.1", jobs=jobs, assemble=assemble)
+
+
+def run_fig3_1(
+    years: int = 7,
+    channels: int = 2000,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    seed: int = 0xFA117,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Fig31Result:
+    """Regenerate Figure 3.1 (``jobs`` fans multipliers out in parallel)."""
+    return execute_plan(
+        plan_fig3_1(
+            years=years, channels=channels, multipliers=multipliers, seed=seed
+        ),
+        max_workers=jobs,
+        cache=cache,
+    )

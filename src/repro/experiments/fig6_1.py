@@ -9,14 +9,15 @@ and fault-rate multipliers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.reliability.analytical import (
     ReliabilityParams,
     sdc_events_per_1000_machine_years,
 )
-from repro.reliability.montecarlo import MonteCarloReliability
+from repro.reliability.montecarlo import MonteCarloReliability, merge_outcomes
+from repro.runner import ExperimentPlan, ResultCache, execute_plan
 from repro.util.tables import format_table
 
 DEFAULT_LIFESPANS = (3, 5, 7)
@@ -66,12 +67,64 @@ class Fig61Result:
         return arcc - sccdcd
 
 
+def plan_fig6_1(
+    lifespans: Sequence[int] = DEFAULT_LIFESPANS,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    monte_carlo_channels: int = 0,
+    monte_carlo_years: float = 7.0,
+    seed: int = 0x5DC,
+) -> ExperimentPlan:
+    """Figure 6.1 as runner jobs.
+
+    The analytical cells are closed-form and assemble inline; the
+    Monte-Carlo cross-check (when requested) contributes one job per
+    channel block, so a pool interleaves the blocks with other figures'
+    work.
+    """
+    lifespans = tuple(lifespans)
+    multipliers = tuple(multipliers)
+    mc_mult = max(multipliers)
+    jobs = []
+    if monte_carlo_channels:
+        mc = MonteCarloReliability(
+            ReliabilityParams(rate_multiplier=mc_mult), seed=seed
+        )
+        jobs = mc.block_jobs(monte_carlo_channels, monte_carlo_years)
+
+    def assemble(values: List[Any]) -> Fig61Result:
+        cells = {}
+        for years in lifespans:
+            for mult in multipliers:
+                params = ReliabilityParams(rate_multiplier=mult)
+                cells[(years, mult)] = sdc_events_per_1000_machine_years(
+                    years, params
+                )
+        monte_carlo = None
+        if values:
+            outcome = merge_outcomes(
+                monte_carlo_channels, monte_carlo_years, values
+            )
+            monte_carlo = {
+                mc_mult: (
+                    outcome.per_1000_machine_years(
+                        outcome.sdc_machines_sccdcd
+                    ),
+                    outcome.per_1000_machine_years(outcome.sdc_machines_arcc),
+                )
+            }
+        return Fig61Result(cells=cells, monte_carlo=monte_carlo)
+
+    return ExperimentPlan(name="fig6.1", jobs=jobs, assemble=assemble)
+
+
 def run_fig6_1(
     lifespans: Sequence[int] = DEFAULT_LIFESPANS,
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
     monte_carlo_channels: int = 0,
     monte_carlo_years: float = 7.0,
     seed: int = 0x5DC,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Fig61Result:
     """Regenerate Figure 6.1 (set ``monte_carlo_channels`` to validate).
 
@@ -79,23 +132,14 @@ def run_fig6_1(
     multiplier) because genuine 1x SDC events need millions of channel-
     lifetimes to observe — the same trick the underlying tech report uses.
     """
-    cells = {}
-    for years in lifespans:
-        for mult in multipliers:
-            params = ReliabilityParams(rate_multiplier=mult)
-            cells[(years, mult)] = sdc_events_per_1000_machine_years(
-                years, params
-            )
-    monte_carlo = None
-    if monte_carlo_channels:
-        monte_carlo = {}
-        mult = max(multipliers)
-        mc = MonteCarloReliability(
-            ReliabilityParams(rate_multiplier=mult), seed=seed
-        )
-        outcome = mc.run(monte_carlo_channels, monte_carlo_years)
-        monte_carlo[mult] = (
-            outcome.per_1000_machine_years(outcome.sdc_machines_sccdcd),
-            outcome.per_1000_machine_years(outcome.sdc_machines_arcc),
-        )
-    return Fig61Result(cells=cells, monte_carlo=monte_carlo)
+    return execute_plan(
+        plan_fig6_1(
+            lifespans=lifespans,
+            multipliers=multipliers,
+            monte_carlo_channels=monte_carlo_channels,
+            monte_carlo_years=monte_carlo_years,
+            seed=seed,
+        ),
+        max_workers=jobs,
+        cache=cache,
+    )

@@ -9,10 +9,11 @@ uniform across mixes and performance gains workload-dependent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG
-from repro.perf.simulator import MixResult, TraceSimulator
+from repro.perf.simulator import TraceSimulator
+from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
 from repro.util.tables import format_table
 from repro.workloads.spec import ALL_MIXES, WorkloadMix
 
@@ -82,28 +83,61 @@ class Fig71Result:
         )
 
 
+def _mix_job(
+    mix: WorkloadMix, instructions_per_core: int, seed: int
+) -> Fig71Row:
+    """Simulate one mix on both organizations (one runner job)."""
+    baseline = TraceSimulator(BASELINE_MEMORY_CONFIG, seed=seed).run(
+        mix, instructions_per_core=instructions_per_core
+    )
+    arcc = TraceSimulator(ARCC_MEMORY_CONFIG, seed=seed).run(
+        mix, instructions_per_core=instructions_per_core
+    )
+    return Fig71Row(
+        mix_name=mix.name,
+        baseline_power_w=baseline.power.total_w,
+        arcc_power_w=arcc.power.total_w,
+        baseline_performance=baseline.performance,
+        arcc_performance=arcc.performance,
+    )
+
+
+def plan_fig7_1(
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    instructions_per_core: int = 40_000,
+    seed: int = 0x7ACE,
+) -> ExperimentPlan:
+    """Figure 7.1 as runner jobs: one job per Table 7.3 mix."""
+    mixes = list(mixes) if mixes is not None else list(ALL_MIXES)
+    jobs = [
+        Job.create(
+            f"fig7.1[{mix.name}]",
+            _mix_job,
+            mix=mix,
+            instructions_per_core=instructions_per_core,
+            seed=seed,
+        )
+        for mix in mixes
+    ]
+    return ExperimentPlan(
+        name="fig7.1",
+        jobs=jobs,
+        assemble=lambda values: Fig71Result(rows=list(values)),
+    )
+
+
 def run_fig7_1(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     instructions_per_core: int = 40_000,
     seed: int = 0x7ACE,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Fig71Result:
-    """Regenerate Figure 7.1."""
-    mixes = list(mixes) if mixes is not None else ALL_MIXES
-    rows = []
-    for mix in mixes:
-        baseline = TraceSimulator(BASELINE_MEMORY_CONFIG, seed=seed).run(
-            mix, instructions_per_core=instructions_per_core
-        )
-        arcc = TraceSimulator(ARCC_MEMORY_CONFIG, seed=seed).run(
-            mix, instructions_per_core=instructions_per_core
-        )
-        rows.append(
-            Fig71Row(
-                mix_name=mix.name,
-                baseline_power_w=baseline.power.total_w,
-                arcc_power_w=arcc.power.total_w,
-                baseline_performance=baseline.performance,
-                arcc_performance=arcc.performance,
-            )
-        )
-    return Fig71Result(rows=rows)
+    """Regenerate Figure 7.1 (``jobs`` fans mixes out in parallel)."""
+    return execute_plan(
+        plan_fig7_1(
+            mixes=mixes, instructions_per_core=instructions_per_core, seed=seed
+        ),
+        max_workers=jobs,
+        cache=cache,
+    )

@@ -13,7 +13,7 @@ fault-free run. The shapes being reproduced:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ARCC_MEMORY_CONFIG
@@ -24,6 +24,7 @@ from repro.perf.simulator import (
     worst_case_performance_ratio,
     worst_case_power_ratio,
 )
+from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
 from repro.util.tables import format_table
 from repro.workloads.spec import ALL_MIXES, WorkloadMix
 
@@ -100,33 +101,84 @@ class FaultOverheadResult:
         return "\n\n".join(out)
 
 
+def _mix_job(
+    mix: WorkloadMix,
+    fault_types: Tuple[FaultType, ...],
+    instructions_per_core: int,
+    seed: int,
+) -> Dict[FaultType, Tuple[float, float]]:
+    """One mix's fault-free run plus every per-fault-type rerun."""
+    fault_free = TraceSimulator(
+        ARCC_MEMORY_CONFIG, upgraded_fraction=0.0, seed=seed
+    ).run(mix, instructions_per_core=instructions_per_core)
+    ratios: Dict[FaultType, Tuple[float, float]] = {}
+    for fault_type in fault_types:
+        fraction = upgraded_page_fraction(fault_type)
+        faulty = TraceSimulator(
+            ARCC_MEMORY_CONFIG, upgraded_fraction=fraction, seed=seed
+        ).run(mix, instructions_per_core=instructions_per_core)
+        ratios[fault_type] = (
+            faulty.power.total_w / fault_free.power.total_w,
+            faulty.performance / fault_free.performance,
+        )
+    return ratios
+
+
+def plan_fig7_2_7_3(
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    fault_types: Sequence[FaultType] = TABLE_7_4_TYPES,
+    instructions_per_core: int = 40_000,
+    seed: int = 0x7ACE,
+) -> ExperimentPlan:
+    """Figures 7.2/7.3 as runner jobs: one job per mix."""
+    mixes = list(mixes) if mixes is not None else list(ALL_MIXES)
+    fault_types = tuple(fault_types)
+    jobs = [
+        Job.create(
+            f"fig7.2[{mix.name}]",
+            _mix_job,
+            mix=mix,
+            fault_types=fault_types,
+            instructions_per_core=instructions_per_core,
+            seed=seed,
+        )
+        for mix in mixes
+    ]
+
+    def assemble(
+        values: List[Dict[FaultType, Tuple[float, float]]]
+    ) -> FaultOverheadResult:
+        power: Dict[Tuple[str, FaultType], float] = {}
+        perf: Dict[Tuple[str, FaultType], float] = {}
+        for mix, ratios in zip(mixes, values):
+            for fault_type, (p, s) in ratios.items():
+                power[(mix.name, fault_type)] = p
+                perf[(mix.name, fault_type)] = s
+        return FaultOverheadResult(
+            power_ratio=power,
+            performance_ratio=perf,
+            fault_types=fault_types,
+        )
+
+    return ExperimentPlan(name="fig7.2", jobs=jobs, assemble=assemble)
+
+
 def run_fig7_2_7_3(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     fault_types: Sequence[FaultType] = TABLE_7_4_TYPES,
     instructions_per_core: int = 40_000,
     seed: int = 0x7ACE,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> FaultOverheadResult:
     """Regenerate Figures 7.2 and 7.3."""
-    mixes = list(mixes) if mixes is not None else ALL_MIXES
-    power: Dict[Tuple[str, FaultType], float] = {}
-    perf: Dict[Tuple[str, FaultType], float] = {}
-    for mix in mixes:
-        fault_free = TraceSimulator(
-            ARCC_MEMORY_CONFIG, upgraded_fraction=0.0, seed=seed
-        ).run(mix, instructions_per_core=instructions_per_core)
-        for fault_type in fault_types:
-            fraction = upgraded_page_fraction(fault_type)
-            faulty = TraceSimulator(
-                ARCC_MEMORY_CONFIG, upgraded_fraction=fraction, seed=seed
-            ).run(mix, instructions_per_core=instructions_per_core)
-            power[(mix.name, fault_type)] = (
-                faulty.power.total_w / fault_free.power.total_w
-            )
-            perf[(mix.name, fault_type)] = (
-                faulty.performance / fault_free.performance
-            )
-    return FaultOverheadResult(
-        power_ratio=power,
-        performance_ratio=perf,
-        fault_types=tuple(fault_types),
+    return execute_plan(
+        plan_fig7_2_7_3(
+            mixes=mixes,
+            fault_types=fault_types,
+            instructions_per_core=instructions_per_core,
+            seed=seed,
+        ),
+        max_workers=jobs,
+        cache=cache,
     )

@@ -19,6 +19,7 @@ from repro.perf.simulator import (
     worst_case_performance_ratio,
     worst_case_power_ratio,
 )
+from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
 from repro.util.tables import format_table
 from repro.util.units import HOURS_PER_YEAR
 
@@ -39,12 +40,13 @@ FALLBACK_OVERHEADS: Dict[FaultType, Tuple[float, float]] = {
 def measured_overheads(
     instructions_per_core: int = 40_000,
     mixes=None,
+    jobs: int = 1,
 ) -> Dict[FaultType, Tuple[float, float]]:
     """Measure (power, performance) ratios per fault type via Fig 7.2/7.3."""
     from repro.experiments.fig7_2_7_3 import run_fig7_2_7_3
 
     result = run_fig7_2_7_3(
-        mixes=mixes, instructions_per_core=instructions_per_core
+        mixes=mixes, instructions_per_core=instructions_per_core, jobs=jobs
     )
     return {
         ft: (
@@ -143,20 +145,14 @@ def _overhead_series(
     return series
 
 
-def run_fig7_4_7_5(
-    years: int = 7,
-    channels: int = 2000,
-    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
-    overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
-    seed: int = 0xFA117,
-) -> LifetimeOverheadResult:
-    """Regenerate Figures 7.4 and 7.5.
-
-    ``overheads`` maps fault type -> (power ratio, perf ratio); pass the
-    output of :func:`measured_overheads` for a fully-measured run, or let
-    the fallback constants (recorded from the default-scale run) be used.
-    """
-    overheads = overheads or FALLBACK_OVERHEADS
+def _multiplier_job(
+    years: int,
+    channels: int,
+    rate_multiplier: float,
+    overheads: Dict[FaultType, Tuple[float, float]],
+    seed: int,
+) -> Tuple[List[float], List[float], List[float], List[float]]:
+    """One multiplier's lifetime population and all four series."""
     power_per_fault = {
         ft: max(ratio - 1.0, 0.0) for ft, (ratio, _) in overheads.items()
     }
@@ -171,31 +167,83 @@ def run_fig7_4_7_5(
         ft: 1.0 - worst_case_performance_ratio(upgraded_page_fraction(ft))
         for ft in TABLE_7_4_TYPES
     }
+    sim = LifetimeSimulator(rate_multiplier=rate_multiplier, seed=seed)
+    histories = sim.simulate_population(channels, float(years))
+    return (
+        _overhead_series(histories, years, power_per_fault, cap=1.0),
+        _overhead_series(histories, years, perf_per_fault, cap=0.5),
+        _overhead_series(histories, years, worst_power_per_fault, cap=1.0),
+        _overhead_series(histories, years, worst_perf_per_fault, cap=0.5),
+    )
 
-    power: Dict[float, List[float]] = {}
-    perf: Dict[float, List[float]] = {}
-    worst_power: Dict[float, List[float]] = {}
-    worst_perf: Dict[float, List[float]] = {}
-    for mult in multipliers:
-        sim = LifetimeSimulator(rate_multiplier=mult, seed=seed)
-        histories = sim.simulate_population(channels, float(years))
-        power[mult] = _overhead_series(
-            histories, years, power_per_fault, cap=1.0
+
+def plan_fig7_4_7_5(
+    years: int = 7,
+    channels: int = 2000,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
+    seed: int = 0xFA117,
+) -> ExperimentPlan:
+    """Figures 7.4/7.5 as runner jobs: one job per rate multiplier."""
+    multipliers = tuple(multipliers)
+    overheads = overheads or FALLBACK_OVERHEADS
+    jobs = [
+        Job.create(
+            f"fig7.4[{mult:g}x]",
+            _multiplier_job,
+            years=years,
+            channels=channels,
+            rate_multiplier=mult,
+            overheads=overheads,
+            seed=seed,
         )
-        perf[mult] = _overhead_series(
-            histories, years, perf_per_fault, cap=0.5
+        for mult in multipliers
+    ]
+
+    def assemble(values: List[Tuple]) -> LifetimeOverheadResult:
+        power: Dict[float, List[float]] = {}
+        perf: Dict[float, List[float]] = {}
+        worst_power: Dict[float, List[float]] = {}
+        worst_perf: Dict[float, List[float]] = {}
+        for mult, series in zip(multipliers, values):
+            power[mult], perf[mult], worst_power[mult], worst_perf[mult] = (
+                series
+            )
+        return LifetimeOverheadResult(
+            years=years,
+            channels=channels,
+            power_overhead=power,
+            performance_overhead=perf,
+            worst_case_power=worst_power,
+            worst_case_performance=worst_perf,
         )
-        worst_power[mult] = _overhead_series(
-            histories, years, worst_power_per_fault, cap=1.0
-        )
-        worst_perf[mult] = _overhead_series(
-            histories, years, worst_perf_per_fault, cap=0.5
-        )
-    return LifetimeOverheadResult(
-        years=years,
-        channels=channels,
-        power_overhead=power,
-        performance_overhead=perf,
-        worst_case_power=worst_power,
-        worst_case_performance=worst_perf,
+
+    return ExperimentPlan(name="fig7.4", jobs=jobs, assemble=assemble)
+
+
+def run_fig7_4_7_5(
+    years: int = 7,
+    channels: int = 2000,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
+    seed: int = 0xFA117,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> LifetimeOverheadResult:
+    """Regenerate Figures 7.4 and 7.5.
+
+    ``overheads`` maps fault type -> (power ratio, perf ratio); pass the
+    output of :func:`measured_overheads` for a fully-measured run, or let
+    the fallback constants (recorded from the default-scale run) be used.
+    """
+    return execute_plan(
+        plan_fig7_4_7_5(
+            years=years,
+            channels=channels,
+            multipliers=multipliers,
+            overheads=overheads,
+            seed=seed,
+        ),
+        max_workers=jobs,
+        cache=cache,
     )

@@ -10,11 +10,12 @@ from gaining double chip sparing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.lotecc_arcc import lotecc_lifetime_overhead
 from repro.reliability.analytical import ReliabilityParams
 from repro.reliability.due import due_reduction_factor
+from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
 from repro.util.tables import format_table
 
 DEFAULT_MULTIPLIERS = (1.0, 2.0, 4.0)
@@ -56,25 +57,50 @@ class Fig76Result:
         return self.overhead[multiplier][-1]
 
 
-def run_fig7_6(
+def plan_fig7_6(
     years: int = 7,
     channels: int = 2000,
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
     seed: int = 0x107ECC,
-) -> Fig76Result:
-    """Regenerate Figure 7.6."""
-    overhead = {
-        mult: lotecc_lifetime_overhead(
+) -> ExperimentPlan:
+    """Figure 7.6 as runner jobs: one job per rate multiplier."""
+    multipliers = tuple(multipliers)
+    jobs = [
+        Job.create(
+            f"fig7.6[{mult:g}x]",
+            lotecc_lifetime_overhead,
             years=years,
             channels=channels,
             rate_multiplier=mult,
             seed=seed,
         )
         for mult in multipliers
-    }
-    return Fig76Result(
-        years=years,
-        channels=channels,
-        overhead=overhead,
-        due_reduction=due_reduction_factor(ReliabilityParams()),
+    ]
+
+    def assemble(values: List[List[float]]) -> Fig76Result:
+        return Fig76Result(
+            years=years,
+            channels=channels,
+            overhead=dict(zip(multipliers, values)),
+            due_reduction=due_reduction_factor(ReliabilityParams()),
+        )
+
+    return ExperimentPlan(name="fig7.6", jobs=jobs, assemble=assemble)
+
+
+def run_fig7_6(
+    years: int = 7,
+    channels: int = 2000,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    seed: int = 0x107ECC,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Fig76Result:
+    """Regenerate Figure 7.6."""
+    return execute_plan(
+        plan_fig7_6(
+            years=years, channels=channels, multipliers=multipliers, seed=seed
+        ),
+        max_workers=jobs,
+        cache=cache,
     )

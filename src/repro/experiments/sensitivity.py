@@ -9,7 +9,7 @@ feature on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.config import ARCC_MEMORY_CONFIG, MemoryConfig, ScrubConfig
 from repro.core.scrubber import scrub_bandwidth_overhead

@@ -13,7 +13,7 @@ exposed to that type. Each simulated channel yields a time-ordered list of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -15,8 +15,8 @@ The paper makes a worst-case assumption we keep: every fault corrupts
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import Dict, Iterator, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Tuple
 
 
 class FaultType(enum.Enum):

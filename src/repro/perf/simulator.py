@@ -20,8 +20,8 @@ same.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.cache.llc import LastLevelCache
 from repro.config import (

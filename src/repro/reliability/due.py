@@ -17,7 +17,7 @@
 
 from __future__ import annotations
 
-from repro.faults.types import DEVICE_LEVEL_TYPES, FaultType
+from repro.faults.types import DEVICE_LEVEL_TYPES
 from repro.reliability.analytical import (
     ReliabilityParams,
     _peers,

@@ -8,6 +8,18 @@ boundaries. The ARCC policy counts an SDC when a new fault intersects an
 undetected one; the SCCDCD policy needs a triple (an undetected pair plus
 one more) and counts a DUE — machine retirement — for a detected pair.
 
+Two engines produce those decisions:
+
+* the **vectorized** engine (default) samples arrival times, types and
+  coordinates for whole blocks of channels in NumPy batches, resolves
+  the dominant two-fault channels with array-based footprint
+  intersection, and falls back to the exact per-pair event loop only for
+  channels where a candidate collision exists;
+* the **legacy** engine is the original per-fault Python loop, kept as
+  the reference the vectorized policies must match decision-for-decision
+  (``exact_pairs=True`` routes every channel through it on identical
+  sampled faults) and as the baseline for the speedup benchmarks.
+
 The paper performs the same cross-check against the analytical models of
 [12]; ``benchmarks/test_fig6_1_sdc.py`` reports both side by side.
 """
@@ -15,19 +27,24 @@ The paper performs the same cross-check against the analytical models of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.faults.types import (
-    DEFAULT_FIT_RATES,
-    DEVICE_LEVEL_TYPES,
-    FaultRates,
-    FaultType,
-)
+from repro.config import RUNNER_CONFIG
+from repro.faults.types import DEVICE_LEVEL_TYPES, FaultType
 from repro.reliability.analytical import ReliabilityParams
-from repro.util.rng import split_rng
-from repro.util.units import FIT_TO_PER_HOUR, HOURS_PER_YEAR
+from repro.runner import Job, run_jobs
+from repro.util.rng import derive_seeds, split_rng
+from repro.util.units import HOURS_PER_YEAR
+
+#: Channels simulated per vectorized batch (and per runner job). Fixed —
+#: the block partition, not the worker count, owns the RNG streams, so
+#: results are independent of how many processes execute the blocks.
+BLOCK_CHANNELS = RUNNER_CONFIG.mc_block_channels
+
+#: Integer codes for the device-level types, in DEVICE_LEVEL_TYPES order.
+_ROW, _COLUMN, _BANK, _DEVICE, _LANE = range(5)
 
 
 @dataclass
@@ -97,6 +114,159 @@ class ReliabilityOutcome:
             raise ValueError("empty simulation")
         return count * 1000.0 / machine_years
 
+    def merged_with(self, other: "ReliabilityOutcome") -> "ReliabilityOutcome":
+        """Combine two disjoint sub-populations (same ``years``)."""
+        return ReliabilityOutcome(
+            channels=self.channels + other.channels,
+            years=self.years,
+            sdc_machines_arcc=self.sdc_machines_arcc + other.sdc_machines_arcc,
+            sdc_machines_sccdcd=(
+                self.sdc_machines_sccdcd + other.sdc_machines_sccdcd
+            ),
+            due_machines_sccdcd=(
+                self.due_machines_sccdcd + other.due_machines_sccdcd
+            ),
+            due_machines_sparing=(
+                self.due_machines_sparing + other.due_machines_sparing
+            ),
+        )
+
+
+# -- vectorized sampling ------------------------------------------------------
+
+
+@dataclass
+class _FaultBatch:
+    """All faults of one channel block as parallel arrays.
+
+    Sorted by (channel, time); ``offsets[c]:offsets[c+1]`` slices channel
+    ``c``'s faults. ``type_code`` indexes DEVICE_LEVEL_TYPES.
+    """
+
+    offsets: np.ndarray  # (channels + 1,) int
+    time_hours: np.ndarray
+    type_code: np.ndarray
+    rank: np.ndarray
+    device: np.ndarray
+    bank: np.ndarray
+    row: np.ndarray
+    column: np.ndarray
+
+    @property
+    def per_channel(self) -> np.ndarray:
+        """Fault count of each channel."""
+        return np.diff(self.offsets)
+
+    def channel_faults(self, channel: int) -> List[_PlacedFault]:
+        """Materialize one channel's faults as objects (time-ordered)."""
+        start, stop = self.offsets[channel], self.offsets[channel + 1]
+        return [
+            _PlacedFault(
+                time_hours=float(self.time_hours[i]),
+                fault_type=DEVICE_LEVEL_TYPES[int(self.type_code[i])],
+                rank=int(self.rank[i]),
+                device=int(self.device[i]),
+                bank=int(self.bank[i]),
+                row=int(self.row[i]),
+                column=int(self.column[i]),
+            )
+            for i in range(start, stop)
+        ]
+
+
+def _sample_batch(
+    params: ReliabilityParams, rng: np.random.Generator, channels: int, years: float
+) -> _FaultBatch:
+    """Sample every fault of ``channels`` channels in NumPy batches."""
+    horizon = years * HOURS_PER_YEAR
+    lam = np.array(
+        [
+            params.device_rate_per_hour(ft) * params.total_devices * horizon
+            for ft in DEVICE_LEVEL_TYPES
+        ]
+    )
+    counts = rng.poisson(lam, size=(channels, len(lam)))
+    per_channel = counts.sum(axis=1)
+    total = int(per_channel.sum())
+    offsets = np.concatenate(([0], np.cumsum(per_channel)))
+    if total == 0:
+        empty_f = np.empty(0)
+        empty_i = np.empty(0, dtype=np.int64)
+        return _FaultBatch(
+            offsets, empty_f, empty_i, empty_i, empty_i, empty_i, empty_i, empty_i
+        )
+
+    channel_ids = np.repeat(np.arange(channels), per_channel)
+    type_code = np.repeat(
+        np.tile(np.arange(len(lam)), channels), counts.ravel()
+    )
+    time_hours = rng.uniform(0.0, horizon, size=total)
+    rank = rng.integers(0, params.ranks, size=total)
+    device = rng.integers(0, params.devices_per_rank, size=total)
+    bank = rng.integers(0, params.banks, size=total)
+    row = rng.integers(0, params.rows, size=total)
+    column = rng.integers(0, params.columns, size=total)
+
+    order = np.lexsort((time_hours, channel_ids))
+    return _FaultBatch(
+        offsets=offsets,
+        time_hours=time_hours[order],
+        type_code=type_code[order],
+        rank=rank[order],
+        device=device[order],
+        bank=bank[order],
+        row=row[order],
+        column=column[order],
+    )
+
+
+# -- vectorized policy decisions ----------------------------------------------
+
+
+def _pairs_intersect(
+    batch: _FaultBatch, left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Array form of :meth:`_PlacedFault.footprint_intersects`.
+
+    ``left``/``right`` index faults of ``batch``; returns a boolean per
+    pair. Must agree with the scalar method on every input — the
+    ``exact_pairs`` test mode enforces exactly that.
+    """
+    ta, tb = batch.type_code[left], batch.type_code[right]
+    lane = (ta == _LANE) | (tb == _LANE)
+    same_rank = batch.rank[left] == batch.rank[right]
+    rank_ok = lane | same_rank
+    distinct = ~((batch.device[left] == batch.device[right]) & same_rank)
+
+    covers_all = lane | (ta == _DEVICE) | (tb == _DEVICE)
+    same_bank = batch.bank[left] == batch.bank[right]
+    both_row = (ta == _ROW) & (tb == _ROW)
+    both_col = (ta == _COLUMN) & (tb == _COLUMN)
+    row_match = ~both_row | (batch.row[left] == batch.row[right])
+    col_match = ~both_col | (batch.column[left] == batch.column[right])
+    region = covers_all | (same_bank & row_match & col_match)
+    return rank_ok & distinct & region
+
+
+def _next_scrub_array(time_hours: np.ndarray, interval: float) -> np.ndarray:
+    """Vectorized next-scrub boundary after each time."""
+    return (np.floor(time_hours / interval) + 1.0) * interval
+
+
+def _channel_has_candidate_pair(batch: _FaultBatch, channel: int) -> bool:
+    """Vectorized screen: does any fault pair of the channel intersect?
+
+    No policy can fail a channel whose faults are pairwise disjoint, so a
+    ``False`` here skips the exact event loop entirely.
+    """
+    start, stop = int(batch.offsets[channel]), int(batch.offsets[channel + 1])
+    idx = np.arange(start, stop)
+    left, right = np.triu_indices(len(idx), k=1)
+    return bool(np.any(_pairs_intersect(batch, idx[left], idx[right])))
+
+
+# -- per-channel reference policies (exact event loops) -----------------------
+
 
 class MonteCarloReliability:
     """Population-level reliability simulation."""
@@ -109,7 +279,7 @@ class MonteCarloReliability:
         self.params = params or ReliabilityParams()
         self.seed = seed
 
-    # -- sampling -------------------------------------------------------------
+    # -- sampling (legacy engine) ---------------------------------------------
 
     def _sample_faults(
         self, rng: np.random.Generator, years: float
@@ -141,7 +311,7 @@ class MonteCarloReliability:
         s = self.params.scrub_interval_hours
         return (int(time_hours / s) + 1) * s
 
-    # -- per-channel policies ----------------------------------------------------
+    # -- per-channel policies -------------------------------------------------
 
     def _run_channel_arcc(self, faults: List[_PlacedFault]) -> bool:
         """True if the channel suffers an ARCC SDC.
@@ -207,27 +377,171 @@ class MonteCarloReliability:
             present.append(fault)
         return False
 
-    # -- population ---------------------------------------------------------------
+    def _decide_channel(
+        self, faults: List[_PlacedFault], outcome: ReliabilityOutcome
+    ) -> None:
+        """Run every policy's exact event loop over one channel."""
+        if self._run_channel_arcc([_copy(f) for f in faults]):
+            outcome.sdc_machines_arcc += 1
+        due, sdc = self._run_channel_sccdcd([_copy(f) for f in faults])
+        if due:
+            outcome.due_machines_sccdcd += 1
+        if sdc:
+            outcome.sdc_machines_sccdcd += 1
+        if self._run_channel_sparing([_copy(f) for f in faults]):
+            outcome.due_machines_sparing += 1
 
-    def run(self, channels: int, years: float) -> ReliabilityOutcome:
-        """Simulate a population and count failing machines per policy."""
+    # -- vectorized block engine ----------------------------------------------
+
+    def _simulate_block(
+        self,
+        block_seed: int,
+        channels: int,
+        years: float,
+        exact_pairs: bool = False,
+    ) -> ReliabilityOutcome:
+        """Simulate one block of channels with batched sampling.
+
+        Two-fault channels (the overwhelming majority of multi-fault
+        channels at field rates) are decided entirely in array form; the
+        policies reduce to two questions about the pair — does it
+        intersect, and did the second fault beat the first one's scrub?
+        Channels with three or more faults are screened with an
+        array-based all-pairs intersection test and only candidate
+        collisions pay for the exact per-pair event loop.
+        ``exact_pairs=True`` sends two-fault channels down the event loop
+        as well; the result must be bit-identical (this is the
+        equivalence check the tests run).
+        """
+        rng = np.random.Generator(np.random.PCG64(block_seed))
+        batch = _sample_batch(self.params, rng, channels, years)
+        outcome = ReliabilityOutcome(channels=channels, years=years)
+        per_channel = batch.per_channel
+
+        pair_channels = np.flatnonzero(per_channel == 2)
+        if len(pair_channels) and not exact_pairs:
+            first = batch.offsets[pair_channels]
+            second = first + 1
+            intersects = _pairs_intersect(batch, first, second)
+            scrub = self.params.scrub_interval_hours
+            detected = (
+                _next_scrub_array(batch.time_hours[first], scrub)
+                <= batch.time_hours[second]
+            )
+            race = intersects & ~detected
+            outcome.sdc_machines_arcc += int(np.count_nonzero(race))
+            outcome.due_machines_sparing += int(np.count_nonzero(race))
+            # A lone intersecting pair is always detected eventually:
+            # SCCDCD retires the machine (DUE); an SDC needs a triple.
+            outcome.due_machines_sccdcd += int(np.count_nonzero(intersects))
+        elif len(pair_channels):
+            for channel in pair_channels:
+                self._decide_channel(
+                    batch.channel_faults(int(channel)), outcome
+                )
+
+        for channel in np.flatnonzero(per_channel >= 3):
+            if not _channel_has_candidate_pair(batch, int(channel)):
+                continue
+            self._decide_channel(batch.channel_faults(int(channel)), outcome)
+        return outcome
+
+    def _blocks(self, channels: int) -> List[Tuple[int, int]]:
+        """(block_seed, block_channels) partition of a population."""
+        if channels <= 0:
+            return []
+        count = (channels + BLOCK_CHANNELS - 1) // BLOCK_CHANNELS
+        seeds = derive_seeds(self.seed, count)
+        return [
+            (seed, min(BLOCK_CHANNELS, channels - i * BLOCK_CHANNELS))
+            for i, seed in enumerate(seeds)
+        ]
+
+    # -- population -----------------------------------------------------------
+
+    def run(
+        self,
+        channels: int,
+        years: float,
+        jobs: int = 1,
+        exact_pairs: bool = False,
+    ) -> ReliabilityOutcome:
+        """Simulate a population and count failing machines per policy.
+
+        The population is split into fixed-size blocks whose RNG streams
+        derive only from ``seed`` and the block index, so the outcome is
+        identical whether blocks run inline (``jobs=1``) or fan out over
+        ``jobs`` worker processes through :mod:`repro.runner`.
+        """
+        block_jobs = self.block_jobs(channels, years, exact_pairs)
+        results = run_jobs(block_jobs, max_workers=jobs)
+        return merge_outcomes(
+            channels, years, [result.value for result in results]
+        )
+
+    def run_legacy(self, channels: int, years: float) -> ReliabilityOutcome:
+        """The original per-fault Python-loop engine.
+
+        Kept as the performance baseline (see
+        ``benchmarks/test_microbenchmarks.py``) and as an independent
+        statistical cross-check of the vectorized engine. Uses
+        ``split_rng`` per channel, so its streams differ from ``run``'s
+        block streams; both are deterministic in ``seed``.
+        """
         outcome = ReliabilityOutcome(channels=channels, years=years)
         for rng in split_rng(self.seed, channels):
             faults = self._sample_faults(rng, years)
             if len(faults) < 2:
                 continue
-            if self._run_channel_arcc(
-                [_copy(f) for f in faults]
-            ):
-                outcome.sdc_machines_arcc += 1
-            due, sdc = self._run_channel_sccdcd([_copy(f) for f in faults])
-            if due:
-                outcome.due_machines_sccdcd += 1
-            if sdc:
-                outcome.sdc_machines_sccdcd += 1
-            if self._run_channel_sparing([_copy(f) for f in faults]):
-                outcome.due_machines_sparing += 1
+            self._decide_channel(faults, outcome)
         return outcome
+
+    def block_jobs(
+        self, channels: int, years: float, exact_pairs: bool = False
+    ) -> List[Job]:
+        """The population as declarative runner jobs, one per block.
+
+        ``run`` executes exactly these jobs; callers who want
+        figure-level scheduling (the CLI's ``repro run``) submit them
+        alongside other figures' jobs and merge with
+        :func:`merge_outcomes`, guaranteeing both paths share cache keys
+        and results.
+        """
+        return [
+            Job.create(
+                f"mc-block[{index}]",
+                _block_job,
+                params=self.params,
+                block_seed=seed,
+                channels=size,
+                years=years,
+                exact_pairs=exact_pairs,
+            )
+            for index, (seed, size) in enumerate(self._blocks(channels))
+        ]
+
+
+def _block_job(
+    params: ReliabilityParams,
+    block_seed: int,
+    channels: int,
+    years: float,
+    exact_pairs: bool = False,
+) -> ReliabilityOutcome:
+    """Picklable worker: simulate one block in a fresh process."""
+    mc = MonteCarloReliability(params)
+    return mc._simulate_block(block_seed, channels, years, exact_pairs)
+
+
+def merge_outcomes(
+    channels: int, years: float, outcomes: Sequence[ReliabilityOutcome]
+) -> ReliabilityOutcome:
+    """Combine block outcomes back into one population outcome."""
+    total = ReliabilityOutcome(channels=0, years=years)
+    for outcome in outcomes:
+        total = total.merged_with(outcome)
+    total.channels = channels
+    return total
 
 
 def _copy(fault: _PlacedFault) -> _PlacedFault:

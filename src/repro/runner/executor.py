@@ -1,0 +1,136 @@
+"""Job execution: inline, or fanned out over a process pool.
+
+``run_jobs`` is the single entry point. Results are returned in job
+order no matter how execution interleaves, every job carries its own
+explicit seed (``base_seed`` fills in missing ones deterministically via
+:func:`repro.util.rng.derive_seeds`), and a :class:`ResultCache` short-
+circuits work that has already been done by a previous run — together
+these make ``--jobs 1`` and ``--jobs N`` produce identical outputs.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.job import ExperimentPlan, Job, JobResult
+from repro.util.rng import derive_seeds
+
+
+def _call_job(job: Job) -> Tuple[Any, float]:
+    """Worker-side shim: run one job and time it."""
+    started = time.perf_counter()
+    value = job.execute()
+    return value, time.perf_counter() - started
+
+
+def _accepts_seed(fn: Any) -> bool:
+    """Whether a callable can receive a ``seed`` keyword argument."""
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    return "seed" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def _with_seeds(jobs: Sequence[Job], base_seed: Optional[int]) -> List[Job]:
+    """Fill in missing job seeds from ``base_seed`` deterministically.
+
+    Jobs whose callable takes no ``seed`` keyword (e.g. Monte-Carlo
+    block jobs, which carry their seed as ordinary config) are left
+    untouched rather than crashed with an unexpected-keyword error.
+    """
+    jobs = list(jobs)
+    if base_seed is None:
+        return jobs
+    seeds = derive_seeds(base_seed, len(jobs))
+    return [
+        Job(job.name, job.fn, job.config, seed)
+        if job.seed is None and _accepts_seed(job.fn)
+        else job
+        for job, seed in zip(jobs, seeds)
+    ]
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    base_seed: Optional[int] = None,
+) -> List[JobResult]:
+    """Execute jobs, returning results in input order.
+
+    ``max_workers <= 1`` runs everything inline (no pool, no pickling),
+    which is also the reference behaviour parallel runs must reproduce
+    bit-for-bit: each job's randomness comes only from its own seed, so
+    scheduling cannot leak into results.
+    """
+    jobs = _with_seeds(jobs, base_seed)
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+
+    pending: List[int] = []
+    for index, job in enumerate(jobs):
+        if cache is not None:
+            hit, value = cache.get(job)
+            if hit:
+                results[index] = JobResult(job.name, value, cached=True)
+                continue
+        pending.append(index)
+
+    if max_workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            value, seconds = _call_job(jobs[index])
+            results[index] = JobResult(jobs[index].name, value, seconds)
+    else:
+        workers = min(max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                index: pool.submit(_call_job, jobs[index])
+                for index in pending
+            }
+            for index, future in futures.items():
+                value, seconds = future.result()
+                results[index] = JobResult(jobs[index].name, value, seconds)
+
+    if cache is not None:
+        for index in pending:
+            cache.put(jobs[index], results[index].value)
+    return [result for result in results if result is not None]
+
+
+def execute_plan(
+    plan: ExperimentPlan,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Any:
+    """Run one experiment plan and assemble its figure result."""
+    results = run_jobs(plan.jobs, max_workers=max_workers, cache=cache)
+    return plan.assemble([r.value for r in results])
+
+
+def execute_plans(
+    plans: Sequence[ExperimentPlan],
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[Any]:
+    """Run several plans through one shared pool.
+
+    All plans' jobs are flattened into a single batch so, e.g., the 12
+    trace-simulation mixes of Figure 7.1 and the Monte-Carlo blocks of
+    Figure 6.1 fill the same workers instead of serializing per figure.
+    """
+    flat: List[Job] = []
+    spans: List[Tuple[int, int]] = []
+    for plan in plans:
+        spans.append((len(flat), len(flat) + len(plan.jobs)))
+        flat.extend(plan.jobs)
+    results = run_jobs(flat, max_workers=max_workers, cache=cache)
+    return [
+        plan.assemble([r.value for r in results[start:stop]])
+        for plan, (start, stop) in zip(plans, spans)
+    ]

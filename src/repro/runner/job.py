@@ -1,0 +1,128 @@
+"""Declarative units of experiment work.
+
+A :class:`Job` is one self-contained computation: a picklable callable, a
+frozen keyword configuration, and an explicit RNG seed. Figures and
+Monte-Carlo sweeps describe themselves as lists of jobs; the executor
+decides whether they run inline or fan out across worker processes, and
+the cache decides whether they run at all. Keeping the description inert
+(no closures, no live generators) is what makes all three possible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+
+def describe_value(value: Any) -> Any:
+    """Canonical, hashable-by-JSON description of a config value.
+
+    Used to build cache keys, so it must be stable across processes and
+    interpreter runs: enums collapse to their names, dataclasses to a
+    sorted field mapping, callables to ``module:qualname``. Anything else
+    falls back to ``repr`` — adequate for the numeric scalars that make
+    up experiment configs.
+    """
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = dataclasses.asdict(value)
+        return {
+            "__dataclass__": type(value).__name__,
+            **{k: describe_value(v) for k, v in sorted(fields.items())},
+        }
+    if isinstance(value, Mapping):
+        return {str(describe_value(k)): describe_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [describe_value(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if callable(value):
+        return f"{getattr(value, '__module__', '?')}:{getattr(value, '__qualname__', repr(value))}"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable experiment computation.
+
+    ``fn`` must be an importable module-level callable (pickled by
+    reference when shipped to a worker process); ``config`` holds its
+    keyword arguments as a sorted tuple so equality is order-insensitive
+    (values may themselves be unhashable, e.g. dicts — compare jobs or
+    key them via :meth:`describe`, not ``hash``); ``seed`` (when set) is
+    passed as the ``seed`` keyword, giving every job its own
+    deterministic RNG stream.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    config: Tuple[Tuple[str, Any], ...] = ()
+    seed: Optional[int] = None
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        fn: Callable[..., Any],
+        seed: Optional[int] = None,
+        **config: Any,
+    ) -> "Job":
+        """Build a job from plain keyword arguments."""
+        return cls(
+            name=name,
+            fn=fn,
+            config=tuple(sorted(config.items())),
+            seed=seed,
+        )
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments the callable receives (seed included)."""
+        kw = dict(self.config)
+        if self.seed is not None:
+            kw["seed"] = self.seed
+        return kw
+
+    def execute(self) -> Any:
+        """Run the job in the current process."""
+        return self.fn(**self.kwargs)
+
+    def describe(self) -> Dict[str, Any]:
+        """Stable description used for cache keying and logging."""
+        return {
+            "name": self.name,
+            "fn": describe_value(self.fn),
+            "seed": self.seed,
+            "config": {k: describe_value(v) for k, v in self.config},
+        }
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: its value plus scheduling metadata."""
+
+    name: str
+    value: Any
+    seconds: float = 0.0
+    cached: bool = False
+
+
+def _identity(values: List[Any]) -> List[Any]:
+    return values
+
+
+@dataclass
+class ExperimentPlan:
+    """A figure/table reproduction as jobs plus an assembly step.
+
+    ``assemble`` receives the job values in job order and builds the
+    figure's result object; it runs in the parent process, so it may be a
+    closure over the plan's parameters.
+    """
+
+    name: str
+    jobs: List[Job] = field(default_factory=list)
+    assemble: Callable[[List[Any]], Any] = _identity

@@ -1,0 +1,136 @@
+"""Registry of reproducible artifacts for ``repro run``.
+
+Maps figure keys to plan builders with two calibrated scales: the
+paper's default sample sizes and a ``--quick`` variant for smoke runs.
+Imported lazily by the CLI (this module pulls in every experiment
+module, which in turn import :mod:`repro.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    plan_fig3_1,
+    plan_fig6_1,
+    plan_fig7_1,
+    plan_fig7_2_7_3,
+    plan_fig7_4_7_5,
+    plan_fig7_6,
+    render_table_7_1,
+    render_table_7_2,
+    render_table_7_3,
+    render_table_7_4,
+)
+from repro.runner.job import ExperimentPlan
+from repro.workloads.spec import ALL_MIXES
+
+
+def _render_tables(values: List[Any]) -> str:
+    return "\n\n".join(
+        render()
+        for render in (
+            render_table_7_1,
+            render_table_7_2,
+            render_table_7_3,
+            render_table_7_4,
+        )
+    )
+
+
+def plan_tables() -> ExperimentPlan:
+    """Tables 7.1-7.4 (no jobs — rendering is instantaneous)."""
+    return ExperimentPlan(name="tables", jobs=[], assemble=_render_tables)
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One reproducible artifact: its plan builder and its two scales."""
+
+    key: str
+    title: str
+    builder: Callable[..., ExperimentPlan]
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    quick: Dict[str, Any] = field(default_factory=dict)
+
+    def plan(self, quick: bool = False, **overrides: Any) -> ExperimentPlan:
+        """Build the plan at the requested scale."""
+        kwargs = dict(self.quick if quick else self.defaults)
+        kwargs.update(overrides)
+        return self.builder(**kwargs)
+
+
+#: Every artifact ``repro run`` knows how to reproduce, in print order.
+FIGURES: Dict[str, FigureSpec] = {
+    spec.key: spec
+    for spec in (
+        FigureSpec("tables", "Tables 7.1-7.4", plan_tables),
+        FigureSpec(
+            "fig3.1",
+            "Figure 3.1: faulty memory vs time",
+            plan_fig3_1,
+            defaults={"channels": 2000},
+            quick={"channels": 500},
+        ),
+        FigureSpec(
+            "fig6.1",
+            "Figure 6.1: SDC rates",
+            plan_fig6_1,
+            defaults={"monte_carlo_channels": 2000},
+            quick={"monte_carlo_channels": 0},
+        ),
+        FigureSpec(
+            "fig7.1",
+            "Figure 7.1: fault-free power/performance",
+            plan_fig7_1,
+            defaults={"instructions_per_core": 40_000},
+            quick={
+                "mixes": ALL_MIXES[:4],
+                "instructions_per_core": 20_000,
+            },
+        ),
+        FigureSpec(
+            "fig7.2",
+            "Figures 7.2/7.3: power/performance with faults",
+            plan_fig7_2_7_3,
+            defaults={
+                "mixes": ALL_MIXES[:3],
+                "instructions_per_core": 40_000,
+            },
+            quick={
+                "mixes": ALL_MIXES[:3],
+                "instructions_per_core": 20_000,
+            },
+        ),
+        FigureSpec(
+            "fig7.4",
+            "Figures 7.4/7.5: lifetime overheads",
+            plan_fig7_4_7_5,
+            defaults={"channels": 2000},
+            quick={"channels": 500},
+        ),
+        FigureSpec(
+            "fig7.6",
+            "Figure 7.6: ARCC+LOT-ECC",
+            plan_fig7_6,
+            defaults={"channels": 2000},
+            quick={"channels": 500},
+        ),
+    )
+}
+
+
+def build_plans(
+    keys: Optional[Sequence[str]] = None, quick: bool = False
+) -> List[ExperimentPlan]:
+    """Plans for the requested figures (all of them by default)."""
+    if not keys:
+        keys = list(FIGURES)
+    unknown = [key for key in keys if key not in FIGURES]
+    if unknown:
+        known = ", ".join(FIGURES)
+        raise KeyError(
+            f"unknown figure(s) {unknown}; known figures: {known}"
+        )
+    return [FIGURES[key].plan(quick=quick) for key in keys]

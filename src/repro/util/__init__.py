@@ -8,7 +8,7 @@ from repro.util.bitops import (
     parity,
     symbols_to_bytes,
 )
-from repro.util.rng import make_rng, split_rng
+from repro.util.rng import derive_seeds, make_rng, split_rng
 from repro.util.stats import (
     OnlineStats,
     confidence_interval,
@@ -36,6 +36,7 @@ __all__ = [
     "bit_count",
     "bytes_to_symbols",
     "confidence_interval",
+    "derive_seeds",
     "extract_bits",
     "format_table",
     "geometric_mean",

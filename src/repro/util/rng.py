@@ -25,3 +25,16 @@ def split_rng(seed: int, count: int) -> list:
     """
     children = np.random.SeedSequence(seed).spawn(count)
     return [np.random.Generator(np.random.PCG64(child)) for child in children]
+
+
+def derive_seeds(seed: int, count: int) -> list:
+    """Derive ``count`` independent integer seeds from ``seed``.
+
+    The integer form travels across process boundaries (pickled into
+    :class:`repro.runner.Job` configs) and hashes into cache keys, unlike
+    a live ``Generator``. Children are prefix-stable: the first ``k``
+    seeds are the same no matter how many are derived, so growing a
+    population extends rather than reshuffles its random streams.
+    """
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(2, np.uint64)[0]) for child in children]

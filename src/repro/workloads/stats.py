@@ -11,7 +11,7 @@ conclusions about them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Optional
 
 from repro.workloads.spec import BenchmarkProfile
 from repro.workloads.trace import TraceAccess

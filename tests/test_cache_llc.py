@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cache.llc import LastLevelCache, Writeback
+from repro.cache.llc import LastLevelCache
 from repro.cache.replacement import (
     LruPolicy,
     NaivePairedLru,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG, SCRUB_CONFIG
+from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG
 from repro.core.modes import ProtectionMode
 from repro.core.page_table import PageTable
 from repro.core.scrubber import (

@@ -4,12 +4,12 @@ import random
 
 import pytest
 
+from repro.config import ARCC_MEMORY_CONFIG
 from repro.core.arcc import ARCCMemorySystem
 from repro.core.modes import ProtectionMode
 from repro.core.page_table import PageTable
 from repro.core.storage import ArccStorage, codec_for_mode
 from repro.core.upgrade import UpgradeEngine
-from repro.config import ARCC_MEMORY_CONFIG
 from repro.ecc.base import DecodeStatus
 from repro.faults.types import FaultType
 

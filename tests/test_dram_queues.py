@@ -3,11 +3,7 @@
 import pytest
 
 from repro.dram.command import MemoryRequest
-from repro.dram.queues import (
-    IssueSlot,
-    PartitionedFifoQueues,
-    PointerFlagQueues,
-)
+from repro.dram.queues import PartitionedFifoQueues, PointerFlagQueues
 
 
 def make_request(line):

@@ -14,12 +14,7 @@ from repro.faults.models import (
     pages_per_rank,
     upgraded_page_fraction,
 )
-from repro.faults.types import (
-    DEFAULT_FIT_RATES,
-    DEVICE_LEVEL_TYPES,
-    FaultRates,
-    FaultType,
-)
+from repro.faults.types import DEFAULT_FIT_RATES, FaultType
 from repro.util.rng import make_rng
 
 

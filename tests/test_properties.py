@@ -5,8 +5,7 @@ uphold the paper's guarantees for *any* data and *any* single-device
 failure, not just the examples the unit tests pick.
 """
 
-import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.modes import ProtectionMode

@@ -1,0 +1,200 @@
+"""Tests for the parallel experiment runner (jobs, cache, executor)."""
+
+import pytest
+
+from repro.config import ARCC_MEMORY_CONFIG
+from repro.faults.types import FaultType
+from repro.runner import (
+    ExperimentPlan,
+    Job,
+    ResultCache,
+    describe_value,
+    execute_plan,
+    execute_plans,
+    run_jobs,
+)
+
+
+def _square(x, seed=0):
+    return x * x + seed
+
+
+def _record(x, seed=0, path=None):
+    """Worker with an observable side effect (for cache-hit counting)."""
+    if path is not None:
+        with open(path, "a") as handle:
+            handle.write(f"{x}\n")
+    return x + seed
+
+
+class TestJob:
+    def test_create_sorts_config(self):
+        a = Job.create("j", _square, x=1)
+        b = Job("j", _square, (("x", 1),))
+        assert a == b
+
+    def test_kwargs_include_seed(self):
+        job = Job.create("j", _square, seed=7, x=2)
+        assert job.kwargs == {"x": 2, "seed": 7}
+
+    def test_kwargs_omit_missing_seed(self):
+        job = Job.create("j", _square, x=2)
+        assert job.kwargs == {"x": 2}
+
+    def test_execute(self):
+        assert Job.create("j", _square, seed=1, x=3).execute() == 10
+
+    def test_describe_is_stable(self):
+        a = Job.create("j", _square, x=1, y=2.5).describe()
+        b = Job.create("j", _square, y=2.5, x=1).describe()
+        assert a == b
+        assert a["fn"].endswith("_square")
+
+
+class TestDescribeValue:
+    def test_enum(self):
+        assert describe_value(FaultType.LANE) == "FaultType.LANE"
+
+    def test_dataclass(self):
+        desc = describe_value(ARCC_MEMORY_CONFIG)
+        assert desc["__dataclass__"] == "MemoryConfig"
+        assert desc["devices_per_rank"] == 18
+
+    def test_nested_containers(self):
+        desc = describe_value({"k": (1, FaultType.ROW)})
+        assert desc == {"k": [1, "FaultType.ROW"]}
+
+    def test_callable(self):
+        assert "test_runner" in describe_value(_square)
+
+
+class TestRunJobs:
+    def test_results_in_job_order(self):
+        jobs = [Job.create(f"j{i}", _square, x=i) for i in range(6)]
+        results = run_jobs(jobs, max_workers=1)
+        assert [r.value for r in results] == [i * i for i in range(6)]
+        assert [r.name for r in results] == [f"j{i}" for i in range(6)]
+
+    def test_pool_matches_inline(self):
+        jobs = [Job.create(f"j{i}", _square, seed=i, x=i) for i in range(8)]
+        inline = [r.value for r in run_jobs(jobs, max_workers=1)]
+        pooled = [r.value for r in run_jobs(jobs, max_workers=4)]
+        assert inline == pooled
+
+    def test_base_seed_fills_missing_seeds_deterministically(self):
+        jobs = [Job.create(f"j{i}", _square, x=0) for i in range(4)]
+        a = [r.value for r in run_jobs(jobs, base_seed=42)]
+        b = [r.value for r in run_jobs(jobs, base_seed=42)]
+        c = [r.value for r in run_jobs(jobs, base_seed=43)]
+        assert a == b
+        assert a != c
+
+    def test_explicit_seed_wins_over_base_seed(self):
+        jobs = [Job.create("j", _square, seed=5, x=0)]
+        (result,) = run_jobs(jobs, base_seed=42)
+        assert result.value == 5
+
+    def test_base_seed_skips_seedless_callables(self):
+        """Jobs whose fn takes no ``seed`` kwarg must not be crashed by
+        base_seed injection (e.g. Monte-Carlo block jobs carry their
+        seed as ordinary config)."""
+        from repro.reliability.montecarlo import MonteCarloReliability
+
+        jobs = MonteCarloReliability(seed=1).block_jobs(10, 1.0)
+        results = run_jobs(jobs, base_seed=5)
+        assert results[0].value.channels == 10
+
+
+class TestResultCache:
+    def test_second_run_hits_cache(self, tmp_path):
+        log = tmp_path / "calls.log"
+        cache = ResultCache(tmp_path / "cache")
+        jobs = [Job.create("j", _record, x=3, path=str(log))]
+        first = run_jobs(jobs, cache=cache)
+        second = run_jobs(jobs, cache=cache)
+        assert first[0].value == second[0].value == 3
+        assert not first[0].cached and second[0].cached
+        assert log.read_text().count("3") == 1  # executed exactly once
+
+    def test_different_config_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs([Job.create("j", _square, x=2)], cache=cache)
+        (result,) = run_jobs([Job.create("j", _square, x=3)], cache=cache)
+        assert not result.cached
+        assert result.value == 9
+
+    def test_code_version_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path / "cache", version="v1")
+        new = ResultCache(tmp_path / "cache", version="v2")
+        job = Job.create("j", _square, x=4)
+        run_jobs([job], cache=old)
+        hit_old, _ = old.get(job)
+        hit_new, _ = new.get(job)
+        assert hit_old and not hit_new
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs([Job.create("j", _square, x=1)], cache=cache)
+        assert cache.clear() == 1
+        assert cache.get(Job.create("j", _square, x=1)) == (False, None)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = Job.create("j", _square, x=1)
+        run_jobs([job], cache=cache)
+        for path in (tmp_path / "cache").glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(job)
+        assert not hit
+
+
+class TestPlans:
+    def test_execute_plan_assembles(self):
+        plan = ExperimentPlan(
+            name="p",
+            jobs=[Job.create(f"j{i}", _square, x=i) for i in range(3)],
+            assemble=sum,
+        )
+        assert execute_plan(plan) == 0 + 1 + 4
+
+    def test_execute_plans_splits_results(self):
+        plans = [
+            ExperimentPlan(
+                name=f"p{n}",
+                jobs=[
+                    Job.create(f"p{n}j{i}", _square, x=10 * n + i)
+                    for i in range(n + 1)
+                ],
+                assemble=list,
+            )
+            for n in range(3)
+        ]
+        results = execute_plans(plans, max_workers=1)
+        assert results[0] == [0]
+        assert results[1] == [100, 121]
+        assert results[2] == [400, 441, 484]
+
+    def test_empty_plan(self):
+        plan = ExperimentPlan(name="tables", jobs=[], assemble=lambda v: "ok")
+        assert execute_plan(plan) == "ok"
+
+
+class TestRegistry:
+    def test_known_figures(self):
+        from repro.runner.registry import FIGURES, build_plans
+
+        plans = build_plans()
+        assert [p.name for p in plans] == list(FIGURES)
+
+    def test_quick_scales_down(self):
+        from repro.runner.registry import FIGURES
+
+        full = FIGURES["fig7.1"].plan()
+        quick = FIGURES["fig7.1"].plan(quick=True)
+        assert len(quick.jobs) < len(full.jobs)
+
+    def test_unknown_figure_rejected(self):
+        from repro.runner.registry import build_plans
+
+        with pytest.raises(KeyError):
+            build_plans(["fig9.9"])

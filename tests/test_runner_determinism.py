@@ -1,0 +1,95 @@
+"""Determinism regression: jobs=1 and jobs=4 must be bit-identical.
+
+Every job owns an explicit seed and the Monte-Carlo block partition is
+fixed independently of the worker count, so fanning an experiment out
+over a process pool must change nothing but wall-clock time. These tests
+run the real figure pipelines both ways at reduced scale and compare
+exact values — no tolerances.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig3_1,
+    run_fig6_1,
+    run_fig7_1,
+    run_fig7_6,
+)
+from repro.reliability.analytical import ReliabilityParams
+from repro.reliability.montecarlo import BLOCK_CHANNELS, MonteCarloReliability
+from repro.workloads.spec import ALL_MIXES
+
+
+def _outcome_tuple(outcome):
+    return (
+        outcome.sdc_machines_arcc,
+        outcome.sdc_machines_sccdcd,
+        outcome.due_machines_sccdcd,
+        outcome.due_machines_sparing,
+    )
+
+
+class TestMonteCarloParallelism:
+    def test_jobs_1_vs_4_identical_counts(self):
+        """Same seed, multiple blocks: SDC/DUE counts must match exactly."""
+        channels = 2 * BLOCK_CHANNELS + 17  # three blocks, one partial
+        mc = MonteCarloReliability(
+            ReliabilityParams(rate_multiplier=50.0), seed=0xD37
+        )
+        sequential = mc.run(channels, 7.0, jobs=1)
+        parallel = mc.run(channels, 7.0, jobs=4)
+        assert _outcome_tuple(sequential) == _outcome_tuple(parallel)
+        assert sequential.channels == parallel.channels == channels
+        assert sequential.due_machines_sccdcd > 0  # non-trivial population
+
+    def test_block_partition_is_prefix_stable(self):
+        """Growing the population extends, never reshuffles, the blocks."""
+        mc = MonteCarloReliability(
+            ReliabilityParams(rate_multiplier=50.0), seed=0xD37
+        )
+        small = mc._blocks(BLOCK_CHANNELS)
+        large = mc._blocks(3 * BLOCK_CHANNELS)
+        assert large[0] == small[0]
+
+
+class TestFigureParallelism:
+    def test_fig3_1_series_identical(self):
+        a = run_fig3_1(years=3, channels=80, jobs=1)
+        b = run_fig3_1(years=3, channels=80, jobs=4)
+        assert a.series == b.series
+
+    def test_fig6_1_cells_and_monte_carlo_identical(self):
+        kwargs = dict(
+            lifespans=(7,),
+            multipliers=(1.0, 4.0),
+            monte_carlo_channels=2 * BLOCK_CHANNELS,
+            monte_carlo_years=3.0,
+        )
+        a = run_fig6_1(jobs=1, **kwargs)
+        b = run_fig6_1(jobs=4, **kwargs)
+        assert a.cells == b.cells
+        assert a.monte_carlo == b.monte_carlo
+
+    def test_fig7_1_rows_identical(self):
+        a = run_fig7_1(
+            mixes=ALL_MIXES[:4], instructions_per_core=4_000, jobs=1
+        )
+        b = run_fig7_1(
+            mixes=ALL_MIXES[:4], instructions_per_core=4_000, jobs=4
+        )
+        assert [vars(r) for r in a.rows] == [vars(r) for r in b.rows]
+
+    def test_fig7_6_overheads_identical(self):
+        a = run_fig7_6(years=3, channels=60, jobs=1)
+        b = run_fig7_6(years=3, channels=60, jobs=4)
+        assert a.overhead == b.overhead
+
+
+@pytest.mark.slow
+class TestFigureParallelismHeavy:
+    """Closer-to-paper-scale determinism sweep (kept out of quick loops)."""
+
+    def test_fig3_1_default_multipliers_identical(self):
+        a = run_fig3_1(years=7, channels=300, jobs=1)
+        b = run_fig3_1(years=7, channels=300, jobs=4)
+        assert a.series == b.series

@@ -5,7 +5,6 @@ import pytest
 from repro.util.rng import make_rng, split_rng
 from repro.util.tables import format_table
 from repro.util.units import (
-    FIT_TO_PER_HOUR,
     GB,
     HOURS_PER_YEAR,
     KB,
