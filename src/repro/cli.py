@@ -9,6 +9,7 @@ Usage::
     python -m repro fig7.2 [--instructions N] [--mixes K] [--jobs J]
     python -m repro fig7.4 [--channels N] [--jobs J]
     python -m repro fig7.6 [--channels N] [--jobs J]
+    python -m repro fleet [scenario ...] [--channels N] [--jobs J] [--list]
     python -m repro all [--quick] [--jobs J]
     python -m repro run [figure ...] --jobs J [--quick] [--cache-dir D]
 
@@ -17,6 +18,11 @@ jobs into one batch, fans them out across ``--jobs`` worker processes,
 and caches completed jobs on disk so interrupted or repeated runs only
 pay for what changed. ``--jobs 1`` and ``--jobs N`` print identical
 tables — every job owns an explicit RNG seed.
+
+``fleet`` sweeps datacenter-fleet lifetime scenarios (heterogeneous
+DIMM generations, harsh environments, burn-in schedules) through the
+vectorized :mod:`repro.fleet` engine; ``--channels`` rescales whole
+fleets, so 10^5-10^6 channel populations are practical.
 """
 
 from __future__ import annotations
@@ -130,6 +136,42 @@ def _cmd_all(args: argparse.Namespace) -> None:
     print(run_fig7_6(channels=500 if quick else 2000, jobs=jobs).to_table())
 
 
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    # Deferred import: keep `repro tables` import-light.
+    from repro.fleet import DEFAULT_SCENARIOS, plan_fleet
+
+    if args.list:
+        for scenario in DEFAULT_SCENARIOS.values():
+            print(
+                f"{scenario.name:20s} {scenario.total_channels:>8d} channels"
+                f"  {scenario.description}"
+            )
+        return
+    names = args.scenarios or list(DEFAULT_SCENARIOS)
+    unknown = [name for name in names if name not in DEFAULT_SCENARIOS]
+    if unknown:
+        known = ", ".join(DEFAULT_SCENARIOS)
+        raise SystemExit(
+            f"repro fleet: unknown scenario(s) {unknown}; known: {known}"
+        )
+    plans = [
+        plan_fleet(scenario=name, channels=args.channels, seed=args.seed)
+        for name in names
+    ]
+    started = time.perf_counter()
+    reports = execute_plans(plans, max_workers=args.jobs)
+    elapsed = time.perf_counter() - started
+    for report in reports:
+        print(report.to_table())
+        print()
+    total_jobs = sum(len(plan.jobs) for plan in plans)
+    total_channels = sum(report.total_channels for report in reports)
+    print(
+        f"[repro fleet] {len(plans)} scenario(s), {total_channels} channels, "
+        f"{total_jobs} job(s), --jobs {args.jobs}, {elapsed:.1f}s"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     # Deferred import: the registry pulls in every experiment module.
     from repro.runner.registry import FIGURES, build_plans
@@ -209,6 +251,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--channels", type=int, default=2000)
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig7_6)
+
+    p = sub.add_parser(
+        "fleet", help="fleet-lifetime scenario sweep (vectorized engine)"
+    )
+    p.add_argument(
+        "scenarios",
+        nargs="*",
+        help="scenario names (default: all built-ins); see --list",
+    )
+    p.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="rescale each fleet to this many total channels",
+    )
+    p.add_argument("--seed", type=int, default=0xF1EE7)
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list built-in scenarios and exit",
+    )
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("all", help="everything, figure by figure")
     p.add_argument("--quick", action="store_true")

@@ -209,6 +209,11 @@ class RunnerConfig:
     default_jobs: int = 1
     cache_dir: str = ".repro-cache"
     mc_block_channels: int = 1024
+    #: Channels per fleet-lifetime sampling block (:mod:`repro.fleet`).
+    #: Larger than ``mc_block_channels`` because fleet blocks are pure
+    #: array work — a block is a handful of NumPy calls, so the only
+    #: cost of small blocks is per-job dispatch.
+    fleet_block_channels: int = 4096
 
 
 RUNNER_CONFIG = RunnerConfig()

@@ -4,6 +4,15 @@ A channel of two 36-device ranks accumulates field-study faults over 1-7
 years; each fault marks its Table-7.4 page footprint faulty. The paper's
 point: even at 4x the measured fault rates, only a few percent of pages
 are ever affected — the headroom ARCC exploits.
+
+Sampling runs on the vectorized :mod:`repro.fleet` engine: one runner
+job per (rate multiplier, channel block), each returning the per-channel
+fraction matrix of its block, so 10^5-channel populations fan out across
+a pool and every reported mean carries a Monte-Carlo confidence
+interval. The block partition owns the RNG streams — ``jobs=1`` and
+``jobs=N`` produce bit-identical series, and the assembled series equal
+:func:`repro.faults.lifetime.faulty_page_fraction_timeseries` for the
+same parameters.
 """
 
 from __future__ import annotations
@@ -11,8 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.faults.lifetime import faulty_page_fraction_timeseries
+import numpy as np
+
+from repro.config import ARCC_MEMORY_CONFIG, MemoryConfig
+from repro.faults.types import DEFAULT_FIT_RATES, FaultRates
+from repro.fleet.engine import faulty_fractions_by_year, fleet_blocks, sample_block
 from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
+from repro.util.stats import confidence_interval
 from repro.util.tables import format_table
 
 DEFAULT_MULTIPLIERS = (1.0, 2.0, 4.0)
@@ -25,22 +39,28 @@ class Fig31Result:
     years: int
     channels: int
     series: Dict[float, List[float]]  # multiplier -> fraction per year
+    #: multiplier -> per-year confidence half-width (when populations
+    #: were sampled; legacy constructions may leave this None).
+    ci: Optional[Dict[float, List[float]]] = None
 
     def to_table(self) -> str:
         """Render the figure's series as rows."""
         headers = ["Rate"] + [f"Year {y}" for y in range(1, self.years + 1)]
         rows = []
         for mult in sorted(self.series):
-            rows.append(
-                [f"{mult:g}x"]
-                + [f"{v * 100:.3f}%" for v in self.series[mult]]
-            )
+            cells = []
+            for year, value in enumerate(self.series[mult]):
+                cell = f"{value * 100:.3f}%"
+                if self.ci is not None:
+                    cell += f" ±{self.ci[mult][year] * 100:.3f}"
+                cells.append(cell)
+            rows.append([f"{mult:g}x"] + cells)
         return format_table(
             headers,
             rows,
             title=(
                 "Figure 3.1: Faulty Memory vs Time "
-                f"({self.channels} Monte-Carlo channels)"
+                f"({self.channels} Monte-Carlo channels, 95% CI)"
             ),
         )
 
@@ -49,31 +69,66 @@ class Fig31Result:
         return self.series[multiplier][-1]
 
 
+def _fig31_block_job(
+    block_seed: int,
+    channels: int,
+    years: int,
+    rate_multiplier: float,
+    config: MemoryConfig = ARCC_MEMORY_CONFIG,
+    rates: FaultRates = DEFAULT_FIT_RATES,
+) -> np.ndarray:
+    """Picklable worker: one block's per-channel fraction matrix."""
+    batch = sample_block(
+        block_seed,
+        channels,
+        float(years),
+        rate_multiplier=rate_multiplier,
+        config=config,
+        rates=rates,
+    )
+    return faulty_fractions_by_year(batch, years, config)
+
+
 def plan_fig3_1(
     years: int = 7,
     channels: int = 2000,
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
     seed: int = 0xFA117,
 ) -> ExperimentPlan:
-    """Figure 3.1 as runner jobs: one lifetime sweep per rate multiplier."""
+    """Figure 3.1 as runner jobs: one per (rate multiplier, block).
+
+    Every multiplier samples the same block partition (common random
+    numbers across the 1x/2x/4x sweep), and each block's stream derives
+    only from ``seed`` and the block index.
+    """
     multipliers = tuple(multipliers)
+    blocks = fleet_blocks(seed, channels)
     jobs = [
         Job.create(
-            f"fig3.1[{mult:g}x]",
-            faulty_page_fraction_timeseries,
+            f"fig3.1[{mult:g}x][{index}]",
+            _fig31_block_job,
+            block_seed=block_seed,
+            channels=size,
             years=years,
-            channels=channels,
             rate_multiplier=mult,
-            seed=seed,
         )
         for mult in multipliers
+        for index, (block_seed, size) in enumerate(blocks)
     ]
 
-    def assemble(values: List[List[float]]) -> Fig31Result:
+    def assemble(values: List[np.ndarray]) -> Fig31Result:
+        series: Dict[float, List[float]] = {}
+        ci: Dict[float, List[float]] = {}
+        per_mult = len(blocks)
+        for m, mult in enumerate(multipliers):
+            matrix = np.concatenate(
+                values[m * per_mult : (m + 1) * per_mult], axis=1
+            )
+            intervals = [confidence_interval(row) for row in matrix]
+            series[mult] = [mean for mean, _ in intervals]
+            ci[mult] = [half for _, half in intervals]
         return Fig31Result(
-            years=years,
-            channels=channels,
-            series=dict(zip(multipliers, values)),
+            years=years, channels=channels, series=series, ci=ci
         )
 
     return ExperimentPlan(name="fig3.1", jobs=jobs, assemble=assemble)
@@ -87,7 +142,7 @@ def run_fig3_1(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> Fig31Result:
-    """Regenerate Figure 3.1 (``jobs`` fans multipliers out in parallel)."""
+    """Regenerate Figure 3.1 (``jobs`` fans blocks out in parallel)."""
     return execute_plan(
         plan_fig3_1(
             years=years, channels=channels, multipliers=multipliers, seed=seed

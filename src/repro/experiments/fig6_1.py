@@ -18,6 +18,7 @@ from repro.reliability.analytical import (
 )
 from repro.reliability.montecarlo import MonteCarloReliability, merge_outcomes
 from repro.runner import ExperimentPlan, ResultCache, execute_plan
+from repro.util.stats import binomial_confidence_interval
 from repro.util.tables import format_table
 
 DEFAULT_LIFESPANS = (3, 5, 7)
@@ -31,6 +32,9 @@ class Fig61Result:
     #: (lifespan, multiplier) -> (sccdcd, arcc) SDCs / 1000 machine-years
     cells: Dict[Tuple[int, float], Tuple[float, float]]
     monte_carlo: Optional[Dict[float, Tuple[float, float]]] = None
+    #: multiplier -> (sccdcd, arcc) 95% confidence half-widths of the
+    #: Monte-Carlo rates (binomial normal approximation over channels).
+    monte_carlo_ci: Optional[Dict[float, Tuple[float, float]]] = None
 
     def to_table(self) -> str:
         """Render the figure's bar groups as rows."""
@@ -50,14 +54,18 @@ class Fig61Result:
             title="Figure 6.1: SDCs per 1000 machine-years",
         )
         if self.monte_carlo:
-            mc_rows = [
-                [f"{mult:g}x", f"{s:.3e}", f"{a:.3e}"]
-                for mult, (s, a) in sorted(self.monte_carlo.items())
-            ]
+            mc_rows = []
+            for mult, (s, a) in sorted(self.monte_carlo.items()):
+                s_cell, a_cell = f"{s:.3e}", f"{a:.3e}"
+                if self.monte_carlo_ci and mult in self.monte_carlo_ci:
+                    s_half, a_half = self.monte_carlo_ci[mult]
+                    s_cell += f" ±{s_half:.1e}"
+                    a_cell += f" ±{a_half:.1e}"
+                mc_rows.append([f"{mult:g}x", s_cell, a_cell])
             table += "\n" + format_table(
                 ["Rate", "SCCDCD (MC)", "ARCC (MC)"],
                 mc_rows,
-                title="Monte-Carlo cross-check",
+                title="Monte-Carlo cross-check (95% CI)",
             )
         return table
 
@@ -100,6 +108,7 @@ def plan_fig6_1(
                     years, params
                 )
         monte_carlo = None
+        monte_carlo_ci = None
         if values:
             outcome = merge_outcomes(
                 monte_carlo_channels, monte_carlo_years, values
@@ -112,7 +121,27 @@ def plan_fig6_1(
                     outcome.per_1000_machine_years(outcome.sdc_machines_arcc),
                 )
             }
-        return Fig61Result(cells=cells, monte_carlo=monte_carlo)
+            # Each channel either fails or not: the rate CI is the
+            # binomial proportion CI scaled to the per-1000-machine-year
+            # unit (x 1000 / years).
+            scale = 1000.0 / monte_carlo_years
+            monte_carlo_ci = {
+                mc_mult: tuple(
+                    binomial_confidence_interval(
+                        count, monte_carlo_channels
+                    )[1]
+                    * scale
+                    for count in (
+                        outcome.sdc_machines_sccdcd,
+                        outcome.sdc_machines_arcc,
+                    )
+                )
+            }
+        return Fig61Result(
+            cells=cells,
+            monte_carlo=monte_carlo,
+            monte_carlo_ci=monte_carlo_ci,
+        )
 
     return ExperimentPlan(name="fig6.1", jobs=jobs, assemble=assemble)
 

@@ -5,21 +5,32 @@ The Section 7.1 methodology, steps 2-4: Monte-Carlo fault arrivals over
 measured by the trace simulator (Figures 7.2/7.3) to that channel from its
 arrival time on; report the population average cumulatively per year, for
 1x/2x/4x rates, next to the worst-case analytical estimate.
+
+Sampling and accumulation run on the vectorized :mod:`repro.fleet`
+engine: one runner job per (rate multiplier, channel block), shipping
+pre-reduced per-year moments, so measured series carry Monte-Carlo
+confidence intervals at 10^5-channel populations. The legacy per-channel
+reduction is kept as :func:`_overhead_series` — the reference the
+vectorized accumulation is tested against on identical histories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.faults.lifetime import FaultEvent, LifetimeSimulator
+import numpy as np
+
+from repro.faults.lifetime import FaultEvent
 from repro.faults.models import TABLE_7_4_TYPES, upgraded_page_fraction
 from repro.faults.types import FaultType
+from repro.fleet.engine import fleet_blocks, overhead_series_by_year, sample_block
 from repro.perf.simulator import (
     worst_case_performance_ratio,
     worst_case_power_ratio,
 )
 from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
+from repro.util.stats import confidence_interval_from_moments
 from repro.util.tables import format_table
 from repro.util.units import HOURS_PER_YEAR
 
@@ -71,20 +82,27 @@ class LifetimeOverheadResult:
     worst_case_power: Dict[float, List[float]]
     #: multiplier -> per-year worst-case performance loss
     worst_case_performance: Dict[float, List[float]]
+    #: multiplier -> per-year 95% confidence half-width of the measured
+    #: power series (None on legacy constructions).
+    power_ci: Optional[Dict[float, List[float]]] = None
+    #: multiplier -> per-year confidence half-width, measured performance.
+    performance_ci: Optional[Dict[float, List[float]]] = None
 
     def to_table(self) -> str:
         """Render both figures."""
         out = []
-        for title, measured, worst in (
+        for title, measured, worst, ci in (
             (
                 "Figure 7.4: Power overhead of error correction",
                 self.power_overhead,
                 self.worst_case_power,
+                self.power_ci,
             ),
             (
                 "Figure 7.5: Performance overhead of error correction",
                 self.performance_overhead,
                 self.worst_case_performance,
+                self.performance_ci,
             ),
         ):
             headers = ["Series"] + [
@@ -92,10 +110,13 @@ class LifetimeOverheadResult:
             ]
             rows = []
             for mult in sorted(measured):
-                rows.append(
-                    [f"{mult:g}x measured"]
-                    + [f"{v * 100:.3f}%" for v in measured[mult]]
-                )
+                cells = []
+                for year, value in enumerate(measured[mult]):
+                    cell = f"{value * 100:.3f}%"
+                    if ci is not None:
+                        cell += f" ±{ci[mult][year] * 100:.3f}"
+                    cells.append(cell)
+                rows.append([f"{mult:g}x measured"] + cells)
                 rows.append(
                     [f"{mult:g}x worst case"]
                     + [f"{v * 100:.3f}%" for v in worst[mult]]
@@ -145,36 +166,55 @@ def _overhead_series(
     return series
 
 
-def _multiplier_job(
-    years: int,
+def _per_fault_weights(
+    overheads: Dict[FaultType, Tuple[float, float]],
+) -> Tuple[Dict[FaultType, float], ...]:
+    """(power, perf, worst-power, worst-perf) additive weights per fault."""
+    return (
+        {ft: max(ratio - 1.0, 0.0) for ft, (ratio, _) in overheads.items()},
+        {ft: max(1.0 - ratio, 0.0) for ft, (_, ratio) in overheads.items()},
+        {
+            ft: worst_case_power_ratio(upgraded_page_fraction(ft)) - 1.0
+            for ft in TABLE_7_4_TYPES
+        },
+        {
+            ft: 1.0 - worst_case_performance_ratio(upgraded_page_fraction(ft))
+            for ft in TABLE_7_4_TYPES
+        },
+    )
+
+
+#: (weight-set key, accumulation cap) of the four reported series.
+_SERIES_SPECS = (
+    ("power", 1.0),
+    ("perf", 0.5),
+    ("worst_power", 1.0),
+    ("worst_perf", 0.5),
+)
+
+
+def _fig74_block_job(
+    block_seed: int,
     channels: int,
+    years: int,
     rate_multiplier: float,
     overheads: Dict[FaultType, Tuple[float, float]],
-    seed: int,
-) -> Tuple[List[float], List[float], List[float], List[float]]:
-    """One multiplier's lifetime population and all four series."""
-    power_per_fault = {
-        ft: max(ratio - 1.0, 0.0) for ft, (ratio, _) in overheads.items()
-    }
-    perf_per_fault = {
-        ft: max(1.0 - ratio, 0.0) for ft, (_, ratio) in overheads.items()
-    }
-    worst_power_per_fault = {
-        ft: worst_case_power_ratio(upgraded_page_fraction(ft)) - 1.0
-        for ft in TABLE_7_4_TYPES
-    }
-    worst_perf_per_fault = {
-        ft: 1.0 - worst_case_performance_ratio(upgraded_page_fraction(ft))
-        for ft in TABLE_7_4_TYPES
-    }
-    sim = LifetimeSimulator(rate_multiplier=rate_multiplier, seed=seed)
-    histories = sim.simulate_population(channels, float(years))
-    return (
-        _overhead_series(histories, years, power_per_fault, cap=1.0),
-        _overhead_series(histories, years, perf_per_fault, cap=0.5),
-        _overhead_series(histories, years, worst_power_per_fault, cap=1.0),
-        _overhead_series(histories, years, worst_perf_per_fault, cap=0.5),
+) -> Dict[str, Any]:
+    """Picklable worker: one block's per-year overhead moments.
+
+    Samples the block once and accumulates all four series over the same
+    fault histories (measured and worst-case, power and performance).
+    """
+    batch = sample_block(
+        block_seed, channels, float(years), rate_multiplier=rate_multiplier
     )
+    weight_sets = _per_fault_weights(overheads)
+    result: Dict[str, Any] = {"channels": channels}
+    for (key, cap), per_fault in zip(_SERIES_SPECS, weight_sets):
+        matrix = overhead_series_by_year(batch, years, per_fault, cap=cap)
+        result[f"{key}_sum"] = matrix.sum(axis=1)
+        result[f"{key}_sumsq"] = np.square(matrix).sum(axis=1)
+    return result
 
 
 def plan_fig7_4_7_5(
@@ -184,38 +224,53 @@ def plan_fig7_4_7_5(
     overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
     seed: int = 0xFA117,
 ) -> ExperimentPlan:
-    """Figures 7.4/7.5 as runner jobs: one job per rate multiplier."""
+    """Figures 7.4/7.5 as runner jobs: one per (rate multiplier, block)."""
     multipliers = tuple(multipliers)
     overheads = overheads or FALLBACK_OVERHEADS
+    blocks = fleet_blocks(seed, channels)
     jobs = [
         Job.create(
-            f"fig7.4[{mult:g}x]",
-            _multiplier_job,
+            f"fig7.4[{mult:g}x][{index}]",
+            _fig74_block_job,
+            block_seed=block_seed,
+            channels=size,
             years=years,
-            channels=channels,
             rate_multiplier=mult,
             overheads=overheads,
-            seed=seed,
         )
         for mult in multipliers
+        for index, (block_seed, size) in enumerate(blocks)
     ]
 
-    def assemble(values: List[Tuple]) -> LifetimeOverheadResult:
-        power: Dict[float, List[float]] = {}
-        perf: Dict[float, List[float]] = {}
-        worst_power: Dict[float, List[float]] = {}
-        worst_perf: Dict[float, List[float]] = {}
-        for mult, series in zip(multipliers, values):
-            power[mult], perf[mult], worst_power[mult], worst_perf[mult] = (
-                series
-            )
+    def assemble(values: List[Dict[str, Any]]) -> LifetimeOverheadResult:
+        series: Dict[str, Dict[float, List[float]]] = {
+            key: {} for key, _ in _SERIES_SPECS
+        }
+        ci: Dict[str, Dict[float, List[float]]] = {"power": {}, "perf": {}}
+        per_mult = len(blocks)
+        for m, mult in enumerate(multipliers):
+            mult_blocks = values[m * per_mult : (m + 1) * per_mult]
+            for key, _ in _SERIES_SPECS:
+                total = sum(block[f"{key}_sum"] for block in mult_blocks)
+                total_sq = sum(block[f"{key}_sumsq"] for block in mult_blocks)
+                intervals = [
+                    confidence_interval_from_moments(
+                        channels, float(total[year]), float(total_sq[year])
+                    )
+                    for year in range(years)
+                ]
+                series[key][mult] = [mean for mean, _ in intervals]
+                if key in ci:
+                    ci[key][mult] = [half for _, half in intervals]
         return LifetimeOverheadResult(
             years=years,
             channels=channels,
-            power_overhead=power,
-            performance_overhead=perf,
-            worst_case_power=worst_power,
-            worst_case_performance=worst_perf,
+            power_overhead=series["power"],
+            performance_overhead=series["perf"],
+            worst_case_power=series["worst_power"],
+            worst_case_performance=series["worst_perf"],
+            power_ci=ci["power"],
+            performance_ci=ci["perf"],
         )
 
     return ExperimentPlan(name="fig7.4", jobs=jobs, assemble=assemble)

@@ -12,6 +12,7 @@ from repro.faults.lifetime import (
     FaultEvent,
     LifetimeSimulator,
     faulty_page_fraction_timeseries,
+    faulty_page_fraction_timeseries_legacy,
 )
 from repro.faults.models import upgraded_page_fraction
 from repro.faults.types import (
@@ -28,5 +29,6 @@ __all__ = [
     "FaultType",
     "LifetimeSimulator",
     "faulty_page_fraction_timeseries",
+    "faulty_page_fraction_timeseries_legacy",
     "upgraded_page_fraction",
 ]

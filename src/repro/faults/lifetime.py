@@ -8,6 +8,18 @@ exposed to that type. Each simulated channel yields a time-ordered list of
 * the fraction of faulty 4 KB pages over time (Figure 3.1), and
 * per-year power/performance overheads (Figures 7.4-7.6) by attaching the
   per-fault-type overheads measured by the trace simulator.
+
+Since the :mod:`repro.fleet` rewrite the bulk sampling is vectorized:
+:meth:`LifetimeSimulator.sample_batch` draws whole blocks of channels in
+batched NumPy calls and returns a struct-of-arrays
+:class:`~repro.fleet.events.FaultEventBatch`;
+:meth:`LifetimeSimulator.simulate_population` delegates to it and
+converts back to the legacy per-channel lists. The original per-channel
+Python loop is kept as :meth:`simulate_population_legacy` — the
+reference the vectorized engine is checked against statistically, and
+the baseline of ``benchmarks/test_fleet_speedup.py`` (mirroring the
+``run``/``run_legacy`` split of
+:class:`repro.reliability.montecarlo.MonteCarloReliability`).
 """
 
 from __future__ import annotations
@@ -72,7 +84,7 @@ class LifetimeSimulator:
     def simulate_channel(
         self, rng: np.random.Generator, years: float
     ) -> List[FaultEvent]:
-        """Sample one channel's fault history over ``years``."""
+        """Sample one channel's fault history over ``years`` (legacy loop)."""
         horizon_hours = years * HOURS_PER_YEAR
         events: List[FaultEvent] = []
         for fault_type in FaultType:
@@ -100,10 +112,45 @@ class LifetimeSimulator:
         events.sort(key=lambda e: e.time_hours)
         return events
 
+    def sample_batch(self, channels: int, years: float):
+        """Vectorized population sample as a ``FaultEventBatch``.
+
+        The bulk representation downstream reductions should consume;
+        block streams derive from ``seed`` (prefix-stable, worker-count
+        independent).
+        """
+        from repro.fleet.engine import sample_fleet
+
+        return sample_fleet(
+            channels,
+            years,
+            config=self.config,
+            rates=self.rates,
+            seed=self.seed,
+        )
+
     def simulate_population(
         self, channels: int, years: float
     ) -> List[List[FaultEvent]]:
-        """Independent fault histories for ``channels`` channels."""
+        """Independent fault histories for ``channels`` channels.
+
+        Delegates to the vectorized fleet engine and converts to the
+        legacy per-channel lists; prefer :meth:`sample_batch` for large
+        populations.
+        """
+        return self.sample_batch(channels, years).to_histories()
+
+    def simulate_population_legacy(
+        self, channels: int, years: float
+    ) -> List[List[FaultEvent]]:
+        """The original per-channel Python-loop sampler.
+
+        Kept as the performance baseline and as an independent
+        statistical cross-check of the vectorized engine. Uses
+        ``split_rng`` per channel, so its streams differ from the block
+        streams of :meth:`sample_batch`; both are deterministic in
+        ``seed``.
+        """
         rngs = split_rng(self.seed, channels)
         return [self.simulate_channel(rng, years) for rng in rngs]
 
@@ -137,7 +184,38 @@ def faulty_page_fraction_timeseries(
     """Average fraction of faulty 4 KB pages at the end of each year.
 
     This regenerates one series of Figure 3.1; sweep ``rate_multiplier``
-    over 1/2/4 for the full figure.
+    over 1/2/4 for the full figure. Vectorized: samples the population
+    through :mod:`repro.fleet.engine` with the same block partition the
+    ``fig3.1`` runner jobs use, so this function and ``run_fig3_1``
+    produce bit-identical series for equal parameters.
+    """
+    from repro.fleet.engine import faulty_fractions_by_year, sample_fleet
+
+    batch = sample_fleet(
+        channels,
+        float(years),
+        rate_multiplier=rate_multiplier,
+        config=config,
+        rates=rates,
+        seed=seed,
+    )
+    fractions = faulty_fractions_by_year(batch, years, config)
+    return [float(row.mean()) for row in fractions]
+
+
+def faulty_page_fraction_timeseries_legacy(
+    years: int = 7,
+    channels: int = 2000,
+    rate_multiplier: float = 1.0,
+    config: MemoryConfig = ARCC_MEMORY_CONFIG,
+    rates: FaultRates = DEFAULT_FIT_RATES,
+    seed: int = 0xFA117,
+) -> List[float]:
+    """The original per-channel-loop Figure 3.1 pipeline.
+
+    Event-object sampling plus a Python reduction loop; the baseline of
+    ``benchmarks/test_fleet_speedup.py`` and an independent statistical
+    cross-check of the vectorized series.
     """
     sim = LifetimeSimulator(
         config=config,
@@ -145,7 +223,7 @@ def faulty_page_fraction_timeseries(
         rate_multiplier=rate_multiplier,
         seed=seed,
     )
-    histories = sim.simulate_population(channels, float(years))
+    histories = sim.simulate_population_legacy(channels, float(years))
     series = []
     for year in range(1, years + 1):
         horizon = year * HOURS_PER_YEAR

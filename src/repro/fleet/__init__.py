@@ -1,0 +1,67 @@
+"""Vectorized fleet-lifetime engine with scenario modeling.
+
+The lifetime Monte Carlo behind Figures 3.1 and 7.4-7.6, rebuilt for
+datacenter-fleet scale:
+
+* :mod:`repro.fleet.events` — :class:`FaultEventBatch`, a struct-of-
+  arrays replacement for ``List[List[FaultEvent]]`` with exact
+  converters to and from the legacy dataclass;
+* :mod:`repro.fleet.engine` — batched Poisson/uniform sampling of whole
+  channel blocks and vectorized year-by-year reductions (faulty-page
+  fractions, overhead accumulation), deterministic per-block streams;
+* :mod:`repro.fleet.scenarios` — declarative heterogeneous fleets:
+  mixed DIMM generations, harsh-environment slices, burn-in schedules;
+* :mod:`repro.fleet.report` — population statistics with confidence
+  intervals, as declarative :mod:`repro.runner` jobs.
+
+``repro fleet`` on the command line sweeps scenarios through the
+parallel runner; 10^5-channel populations take seconds on one core.
+"""
+
+from repro.fleet.engine import (
+    FLEET_BLOCK_CHANNELS,
+    channel_arrival_rates,
+    faulty_fractions_by_year,
+    fleet_blocks,
+    overhead_series_by_year,
+    sample_block,
+    sample_fleet,
+)
+from repro.fleet.events import FAULT_TYPE_ORDER, FaultEventBatch, empty_batch
+from repro.fleet.report import (
+    DEFAULT_FLEET_SEED,
+    FleetReport,
+    SubPopulationReport,
+    plan_fleet,
+    run_fleet,
+)
+from repro.fleet.scenarios import (
+    DEFAULT_SCENARIOS,
+    FleetScenario,
+    RatePhase,
+    SubPopulation,
+    resolve_scenario,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_SEED",
+    "DEFAULT_SCENARIOS",
+    "FAULT_TYPE_ORDER",
+    "FLEET_BLOCK_CHANNELS",
+    "FaultEventBatch",
+    "FleetReport",
+    "FleetScenario",
+    "RatePhase",
+    "SubPopulation",
+    "SubPopulationReport",
+    "channel_arrival_rates",
+    "empty_batch",
+    "faulty_fractions_by_year",
+    "fleet_blocks",
+    "overhead_series_by_year",
+    "plan_fleet",
+    "resolve_scenario",
+    "run_fleet",
+    "sample_block",
+    "sample_fleet",
+]

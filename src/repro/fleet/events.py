@@ -1,0 +1,182 @@
+"""Struct-of-arrays bulk representation of fault-arrival histories.
+
+The legacy lifetime pipeline materializes ``List[List[FaultEvent]]`` —
+one Python object per fault, one list per channel — which caps
+populations well below the 10^5-10^6 channels paper-grade confidence
+needs. :class:`FaultEventBatch` stores the same information as parallel
+NumPy arrays plus a per-channel offset index, so whole-population
+reductions (faulty-page fractions, overhead accumulation) run as array
+ops instead of Python loops.
+
+Converters to and from the legacy dataclass keep both worlds
+interchangeable: ``from_histories(sim.simulate_population(...))`` and
+``batch.to_histories()`` are exact inverses, event for event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.types import FaultType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lifetime -> fleet)
+    from repro.faults.lifetime import FaultEvent
+
+#: Canonical integer coding of fault types: ``type_code[i]`` indexes this.
+FAULT_TYPE_ORDER: Tuple[FaultType, ...] = tuple(FaultType)
+
+_CODE_OF = {fault_type: code for code, fault_type in enumerate(FAULT_TYPE_ORDER)}
+
+
+@dataclass(frozen=True)
+class FaultEventBatch:
+    """All fault arrivals of a channel population as parallel arrays.
+
+    Events are grouped by population member and time-ordered within each
+    member: ``offsets[i]:offsets[i+1]`` slices member ``i``'s events.
+    ``channel``/``rank``/``device`` are the *geometric* coordinates of
+    the faulty circuitry inside one memory system (the same fields the
+    legacy :class:`~repro.faults.lifetime.FaultEvent` carries), not the
+    population index — that is implicit in the offsets.
+    """
+
+    offsets: np.ndarray  # (members + 1,) int64, monotone, offsets[0] == 0
+    time_hours: np.ndarray  # (events,) float64
+    type_code: np.ndarray  # (events,) int64, indexes FAULT_TYPE_ORDER
+    channel: np.ndarray  # (events,) int64
+    rank: np.ndarray  # (events,) int64
+    device: np.ndarray  # (events,) int64
+
+    @property
+    def num_channels(self) -> int:
+        """Population size (simulated channels)."""
+        return len(self.offsets) - 1
+
+    @property
+    def num_events(self) -> int:
+        """Total fault arrivals across the population."""
+        return len(self.time_hours)
+
+    @property
+    def per_channel(self) -> np.ndarray:
+        """Fault count of each population member."""
+        return np.diff(self.offsets)
+
+    def channel_ids(self) -> np.ndarray:
+        """Population index of every event (aligned with the arrays)."""
+        return np.repeat(np.arange(self.num_channels), self.per_channel)
+
+    def fault_types(self) -> List[FaultType]:
+        """Decoded fault type of every event."""
+        return [FAULT_TYPE_ORDER[code] for code in self.type_code]
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on structurally inconsistent arrays."""
+        if len(self.offsets) < 1 or self.offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be monotone")
+        if int(self.offsets[-1]) != self.num_events:
+            raise ValueError("offsets[-1] must equal the event count")
+        for name in ("time_hours", "type_code", "channel", "rank", "device"):
+            if len(getattr(self, name)) != self.num_events:
+                raise ValueError(f"{name} length mismatch")
+        ids = self.channel_ids()
+        # Times must be non-decreasing within each member.
+        same_member = ids[1:] == ids[:-1] if self.num_events > 1 else np.array([], bool)
+        if np.any(same_member & (np.diff(self.time_hours) < 0)):
+            raise ValueError("times must be sorted within each channel")
+        if np.any((self.type_code < 0) | (self.type_code >= len(FAULT_TYPE_ORDER))):
+            raise ValueError("type_code out of range")
+
+    def events_of(self, member: int) -> List["FaultEvent"]:
+        """Materialize one population member's events as legacy objects."""
+        from repro.faults.lifetime import FaultEvent
+
+        start, stop = int(self.offsets[member]), int(self.offsets[member + 1])
+        return [
+            FaultEvent(
+                time_hours=float(self.time_hours[i]),
+                fault_type=FAULT_TYPE_ORDER[int(self.type_code[i])],
+                channel=int(self.channel[i]),
+                rank=int(self.rank[i]),
+                device=int(self.device[i]),
+            )
+            for i in range(start, stop)
+        ]
+
+    def to_histories(self) -> List[List["FaultEvent"]]:
+        """The legacy ``List[List[FaultEvent]]`` view of the batch."""
+        return [self.events_of(member) for member in range(self.num_channels)]
+
+    @classmethod
+    def from_histories(
+        cls, histories: Sequence[Sequence["FaultEvent"]]
+    ) -> "FaultEventBatch":
+        """Pack legacy per-channel event lists into one batch."""
+        counts = np.fromiter(
+            (len(events) for events in histories), dtype=np.int64, count=len(histories)
+        )
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        flat = [event for events in histories for event in events]
+        return cls(
+            offsets=offsets,
+            time_hours=np.array([e.time_hours for e in flat], dtype=np.float64),
+            type_code=np.array(
+                [_CODE_OF[e.fault_type] for e in flat], dtype=np.int64
+            ),
+            channel=np.array([e.channel for e in flat], dtype=np.int64),
+            rank=np.array([e.rank for e in flat], dtype=np.int64),
+            device=np.array([e.device for e in flat], dtype=np.int64),
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["FaultEventBatch"]) -> "FaultEventBatch":
+        """Concatenate disjoint sub-populations (block results) in order."""
+        if not batches:
+            return empty_batch(0)
+        offsets = [np.asarray([0], dtype=np.int64)]
+        base = 0
+        for batch in batches:
+            offsets.append(batch.offsets[1:] + base)
+            base += batch.num_events
+        return cls(
+            offsets=np.concatenate(offsets),
+            time_hours=np.concatenate([b.time_hours for b in batches]),
+            type_code=np.concatenate([b.type_code for b in batches]),
+            channel=np.concatenate([b.channel for b in batches]),
+            rank=np.concatenate([b.rank for b in batches]),
+            device=np.concatenate([b.device for b in batches]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultEventBatch):
+            return NotImplemented
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in (
+                "offsets",
+                "time_hours",
+                "type_code",
+                "channel",
+                "rank",
+                "device",
+            )
+        )
+
+
+def empty_batch(channels: int) -> FaultEventBatch:
+    """A batch of ``channels`` members with no fault arrivals."""
+    empty_f = np.empty(0, dtype=np.float64)
+    empty_i = np.empty(0, dtype=np.int64)
+    return FaultEventBatch(
+        offsets=np.zeros(channels + 1, dtype=np.int64),
+        time_hours=empty_f,
+        type_code=empty_i,
+        channel=empty_i,
+        rank=empty_i,
+        device=empty_i,
+    )

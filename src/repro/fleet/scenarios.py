@@ -1,0 +1,215 @@
+"""Declarative fleet scenarios: heterogeneous populations, varied rates.
+
+A datacenter fleet is rarely the homogeneous 2000-channel population the
+paper simulates: machines span DIMM generations, racks see different
+thermal environments, and fault rates follow a bathtub curve — elevated
+during burn-in, flat in steady state. A :class:`FleetScenario` composes
+:class:`SubPopulation` slices, each with its own memory organization,
+FIT rates, rate multiplier, lifespan and piecewise rate schedule; the
+fleet engine samples every slice with deterministic per-slice streams
+and the report layer aggregates them with confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG, MemoryConfig
+from repro.faults.types import DEFAULT_FIT_RATES, FaultRates
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """One segment of a piecewise-constant rate schedule."""
+
+    duration_years: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.duration_years <= 0:
+            raise ValueError("phase duration must be positive")
+        if self.multiplier < 0:
+            raise ValueError("phase multiplier must be non-negative")
+
+
+@dataclass(frozen=True)
+class SubPopulation:
+    """A homogeneous slice of the fleet.
+
+    ``schedule`` phases apply in order from deployment; any lifespan
+    beyond the last phase runs at multiplier 1.0 (steady state). An empty
+    schedule is a constant-rate population. ``rate_multiplier`` scales
+    everything uniformly on top (the paper's 1x/2x/4x sweeps).
+    """
+
+    name: str
+    channels: int
+    config: MemoryConfig = ARCC_MEMORY_CONFIG
+    rates: FaultRates = DEFAULT_FIT_RATES
+    rate_multiplier: float = 1.0
+    lifespan_years: float = 7.0
+    schedule: Tuple[RatePhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError("sub-population needs at least one channel")
+        if self.rate_multiplier <= 0:
+            raise ValueError("rate multiplier must be positive")
+        if self.lifespan_years <= 0:
+            raise ValueError("lifespan must be positive")
+
+    @property
+    def report_years(self) -> int:
+        """Whole reporting years of the slice (at least one row)."""
+        return max(1, int(self.lifespan_years))
+
+    def phases(self) -> List[Tuple[float, float, float]]:
+        """``(start, duration, multiplier)`` segments covering the lifespan."""
+        segments: List[Tuple[float, float, float]] = []
+        start = 0.0
+        for phase in self.schedule:
+            if start >= self.lifespan_years:
+                break
+            duration = min(phase.duration_years, self.lifespan_years - start)
+            segments.append((start, duration, phase.multiplier))
+            start += duration
+        if start < self.lifespan_years:
+            segments.append((start, self.lifespan_years - start, 1.0))
+        return segments
+
+    def scaled(self, factor: float) -> "SubPopulation":
+        """Copy with the channel count scaled (at least one channel)."""
+        return replace(self, channels=max(1, round(self.channels * factor)))
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A named composition of sub-populations."""
+
+    name: str
+    description: str
+    populations: Tuple[SubPopulation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.populations:
+            raise ValueError("scenario needs at least one sub-population")
+        names = [pop.name for pop in self.populations]
+        if len(set(names)) != len(names):
+            raise ValueError("sub-population names must be unique")
+
+    @property
+    def total_channels(self) -> int:
+        """Fleet size across every slice."""
+        return sum(pop.channels for pop in self.populations)
+
+    @property
+    def max_years(self) -> int:
+        """Longest slice lifespan, in whole reporting years (>= 1).
+
+        Mirrors :attr:`SubPopulation.report_years` so the fleet table
+        always has exactly as many year columns as its widest slice —
+        sub-year lifespans still report one row.
+        """
+        return max(pop.report_years for pop in self.populations)
+
+    def scaled_to(self, channels: int) -> "FleetScenario":
+        """Copy with the total fleet scaled to ``channels`` proportionally."""
+        if channels <= 0:
+            raise ValueError("fleet must keep at least one channel")
+        factor = channels / self.total_channels
+        return replace(
+            self,
+            populations=tuple(pop.scaled(factor) for pop in self.populations),
+        )
+
+
+def _steady(channels: int = 20_000) -> FleetScenario:
+    return FleetScenario(
+        name="steady",
+        description="Homogeneous ARCC fleet at 1x field rates (the paper's setup)",
+        populations=(SubPopulation(name="arcc-1x", channels=channels),),
+    )
+
+
+def _mixed_generations(channels: int = 20_000) -> FleetScenario:
+    """Mixed DIMM generations: new x8 ARCC alongside aging x4 stock."""
+    return FleetScenario(
+        name="mixed-generations",
+        description=(
+            "60% new ARCC x8 DIMMs, 25% mid-life ARCC at 2x rates, "
+            "15% legacy x4 lockstep channels near end of life at 4x"
+        ),
+        populations=(
+            SubPopulation(name="arcc-new", channels=round(channels * 0.60)),
+            SubPopulation(
+                name="arcc-midlife",
+                channels=round(channels * 0.25),
+                rate_multiplier=2.0,
+                lifespan_years=5.0,
+            ),
+            SubPopulation(
+                name="legacy-x4",
+                channels=round(channels * 0.15),
+                config=BASELINE_MEMORY_CONFIG,
+                rate_multiplier=4.0,
+                lifespan_years=3.0,
+            ),
+        ),
+    )
+
+
+def _harsh_environment(channels: int = 20_000) -> FleetScenario:
+    """A hot-aisle slice running at elevated rates next to the main hall."""
+    return FleetScenario(
+        name="harsh-environment",
+        description="80% temperate hall at 1x, 20% harsh edge sites at 4x",
+        populations=(
+            SubPopulation(name="temperate", channels=round(channels * 0.80)),
+            SubPopulation(
+                name="harsh",
+                channels=round(channels * 0.20),
+                rate_multiplier=4.0,
+            ),
+        ),
+    )
+
+
+def _burn_in(channels: int = 20_000) -> FleetScenario:
+    """Bathtub-curve schedule: elevated infant-mortality rates, then steady."""
+    return FleetScenario(
+        name="burn-in",
+        description=(
+            "Whole fleet with a 0.5-year burn-in at 4x rates, "
+            "steady state afterwards"
+        ),
+        populations=(
+            SubPopulation(
+                name="bathtub",
+                channels=channels,
+                schedule=(RatePhase(duration_years=0.5, multiplier=4.0),),
+            ),
+        ),
+    )
+
+
+#: Built-in scenarios, in ``repro fleet`` print order.
+DEFAULT_SCENARIOS: Dict[str, FleetScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        _steady(),
+        _mixed_generations(),
+        _harsh_environment(),
+        _burn_in(),
+    )
+}
+
+
+def resolve_scenario(scenario: "FleetScenario | str") -> FleetScenario:
+    """Accept a scenario object or a built-in scenario name."""
+    if isinstance(scenario, FleetScenario):
+        return scenario
+    if scenario not in DEFAULT_SCENARIOS:
+        known = ", ".join(DEFAULT_SCENARIOS)
+        raise KeyError(f"unknown scenario {scenario!r}; known: {known}")
+    return DEFAULT_SCENARIOS[scenario]

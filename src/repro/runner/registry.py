@@ -23,6 +23,7 @@ from repro.experiments import (
     render_table_7_3,
     render_table_7_4,
 )
+from repro.fleet import plan_fleet
 from repro.runner.job import ExperimentPlan
 from repro.workloads.spec import ALL_MIXES
 
@@ -77,7 +78,9 @@ FIGURES: Dict[str, FigureSpec] = {
             "fig6.1",
             "Figure 6.1: SDC rates",
             plan_fig6_1,
-            defaults={"monte_carlo_channels": 2000},
+            # The vectorized Monte-Carlo engine affords paper-grade
+            # populations; 20k channels tighten the cross-check CIs.
+            defaults={"monte_carlo_channels": 20_000},
             quick={"monte_carlo_channels": 0},
         ),
         FigureSpec(
@@ -116,6 +119,13 @@ FIGURES: Dict[str, FigureSpec] = {
             plan_fig7_6,
             defaults={"channels": 2000},
             quick={"channels": 500},
+        ),
+        FigureSpec(
+            "fleet",
+            "Fleet scenario: heterogeneous lifetime populations",
+            plan_fleet,
+            defaults={"scenario": "mixed-generations", "channels": 100_000},
+            quick={"scenario": "mixed-generations", "channels": 4_000},
         ),
     )
 }

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence, Tuple
 
+import numpy as np
+
 
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean; raises on non-positive inputs."""
@@ -35,16 +37,63 @@ def harmonic_mean(values: Iterable[float]) -> float:
 def confidence_interval(
     values: Sequence[float], z: float = 1.96
 ) -> Tuple[float, float]:
-    """Normal-approximation confidence interval (mean, half-width)."""
+    """Normal-approximation confidence interval (mean, half-width).
+
+    NumPy arrays take a vectorized path (population statistics over
+    10^5-10^6 Monte-Carlo channels would be too slow in pure Python);
+    both paths compute the same unbiased-variance interval.
+    """
     n = len(values)
     if n == 0:
         raise ValueError("confidence_interval of empty sequence")
+    if isinstance(values, np.ndarray):
+        mean = float(values.mean())
+        if n == 1:
+            return mean, 0.0
+        var = float(values.var(ddof=1))
+        return mean, z * math.sqrt(var / n)
     mean = sum(values) / n
     if n == 1:
         return mean, 0.0
     var = sum((v - mean) ** 2 for v in values) / (n - 1)
     half = z * math.sqrt(var / n)
     return mean, half
+
+
+def confidence_interval_from_moments(
+    count: int, total: float, total_sq: float, z: float = 1.96
+) -> Tuple[float, float]:
+    """:func:`confidence_interval` from pre-reduced first/second moments.
+
+    Parallel block jobs ship ``(n, sum, sum of squares)`` instead of raw
+    per-channel samples; merging moments and calling this is equivalent
+    to concatenating the samples and calling
+    :func:`confidence_interval`, up to floating point.
+    """
+    if count <= 0:
+        raise ValueError("confidence_interval of empty sequence")
+    mean = total / count
+    if count == 1:
+        return mean, 0.0
+    var = max(total_sq - total * total / count, 0.0) / (count - 1)
+    return mean, z * math.sqrt(var / count)
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Confidence interval of a proportion (mean, half-width).
+
+    Equivalent to :func:`confidence_interval` over the implied 0/1
+    sample vector (unbiased-variance normal approximation), without
+    materializing it — the Monte-Carlo cross-check populations are
+    10^4-10^6 channels.
+    """
+    if trials <= 0:
+        raise ValueError("binomial_confidence_interval needs trials > 0")
+    # An indicator's square is itself, so the implied moments are
+    # (trials, successes, successes).
+    return confidence_interval_from_moments(trials, successes, successes, z)
 
 
 class OnlineStats:

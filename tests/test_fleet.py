@@ -1,0 +1,487 @@
+"""Tests for the vectorized fleet-lifetime engine (:mod:`repro.fleet`).
+
+The load-bearing guarantees: the struct-of-arrays batch and the legacy
+event lists are exact converters of each other; the vectorized engine is
+what :meth:`LifetimeSimulator.simulate_population` now produces, event
+for event; the vectorized reductions match the legacy Python rules on
+identical histories; block partitioning makes results independent of
+worker count and prefix-stable in population size; and scenario reports
+attach confidence intervals to every mean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG
+from repro.experiments.fig3_1 import run_fig3_1
+from repro.experiments.fig7_4_7_5 import _overhead_series, run_fig7_4_7_5
+from repro.faults.lifetime import (
+    LifetimeSimulator,
+    _fraction_after_events,
+    faulty_page_fraction_timeseries,
+    faulty_page_fraction_timeseries_legacy,
+)
+from repro.faults.types import FaultType
+from repro.fleet import (
+    DEFAULT_SCENARIOS,
+    FLEET_BLOCK_CHANNELS,
+    FaultEventBatch,
+    FleetScenario,
+    RatePhase,
+    SubPopulation,
+    empty_batch,
+    faulty_fractions_by_year,
+    fleet_blocks,
+    overhead_series_by_year,
+    resolve_scenario,
+    run_fleet,
+    sample_block,
+    sample_fleet,
+)
+from repro.util.units import HOURS_PER_YEAR
+
+
+class TestFaultEventBatch:
+    def test_round_trip_exact(self):
+        batch = sample_fleet(300, 7.0, rate_multiplier=8.0, seed=21)
+        assert FaultEventBatch.from_histories(batch.to_histories()) == batch
+
+    def test_round_trip_with_empty_channels(self):
+        batch = sample_fleet(50, 1.0, rate_multiplier=0.5, seed=3)
+        histories = batch.to_histories()
+        assert len(histories) == 50
+        assert FaultEventBatch.from_histories(histories) == batch
+
+    def test_events_of_matches_histories(self):
+        batch = sample_fleet(40, 7.0, rate_multiplier=20.0, seed=5)
+        histories = batch.to_histories()
+        for member in (0, 17, 39):
+            assert batch.events_of(member) == histories[member]
+
+    def test_per_channel_counts(self):
+        batch = sample_fleet(64, 7.0, rate_multiplier=10.0, seed=9)
+        counts = [len(events) for events in batch.to_histories()]
+        assert batch.per_channel.tolist() == counts
+        assert batch.num_events == sum(counts)
+        assert batch.num_channels == 64
+
+    def test_concat_preserves_members(self):
+        a = sample_block(1, 10, 7.0, rate_multiplier=30.0)
+        b = sample_block(2, 5, 7.0, rate_multiplier=30.0)
+        merged = FaultEventBatch.concat([a, b])
+        assert merged.num_channels == 15
+        assert merged.to_histories() == a.to_histories() + b.to_histories()
+
+    def test_empty_batch(self):
+        batch = empty_batch(7)
+        batch.validate()
+        assert batch.num_channels == 7
+        assert batch.num_events == 0
+        assert batch.to_histories() == [[]] * 7
+
+    def test_validate_rejects_bad_offsets(self):
+        batch = sample_fleet(20, 7.0, rate_multiplier=30.0, seed=1)
+        broken = FaultEventBatch(
+            offsets=batch.offsets[:-1],
+            time_hours=batch.time_hours,
+            type_code=batch.type_code,
+            channel=batch.channel,
+            rank=batch.rank,
+            device=batch.device,
+        )
+        with pytest.raises(ValueError):
+            broken.validate()
+
+    def test_validate_accepts_samples(self):
+        sample_fleet(100, 7.0, rate_multiplier=10.0, seed=2).validate()
+
+
+class TestEngineSampling:
+    def test_deterministic(self):
+        kwargs = dict(rate_multiplier=4.0, seed=42)
+        assert sample_fleet(500, 7.0, **kwargs) == sample_fleet(
+            500, 7.0, **kwargs
+        )
+
+    def test_matches_simulate_population_event_for_event(self):
+        """Same seed: the batch and the delegating legacy API agree.
+
+        ``simulate_population`` delegates to ``sample_batch``, so this
+        pins the delegation + converter contract (round-tripping through
+        ``FaultEvent`` objects loses nothing), not the sampling physics —
+        ``test_per_type_rates_match_legacy_physics`` covers that against
+        the independent legacy sampler.
+        """
+        sim = LifetimeSimulator(rate_multiplier=4.0, seed=7)
+        batch = sim.sample_batch(200, 7.0)
+        histories = sim.simulate_population(200, 7.0)
+        assert FaultEventBatch.from_histories(histories) == batch
+
+    def test_per_type_rates_match_legacy_physics(self):
+        """Per-fault-type arrival counts match the analytic expectation.
+
+        Both engines draw from the same superposed Poisson processes, so
+        each fault type's population-wide count must sit within Poisson
+        noise of ``channels * rate_t * horizon`` — a dropped fault type,
+        a wrong FIT normalization, or a mis-scaled multiplier in either
+        engine lands far outside the 6-sigma band.
+        """
+        channels, years, multiplier = 6000, 7.0, 10.0
+        sim = LifetimeSimulator(rate_multiplier=multiplier, seed=29)
+        batch = sim.sample_batch(channels, years)
+        legacy = sim.simulate_population_legacy(channels, years)
+
+        vec_counts = {ft: 0 for ft in FaultType}
+        for code, fault_type in enumerate(FaultType):
+            vec_counts[fault_type] = int(np.sum(batch.type_code == code))
+        legacy_counts = {ft: 0 for ft in FaultType}
+        for events in legacy:
+            for event in events:
+                legacy_counts[event.fault_type] += 1
+
+        for fault_type in FaultType:
+            expected = (
+                sim._arrival_rate_per_hour(fault_type)
+                * years
+                * HOURS_PER_YEAR
+                * channels
+            )
+            band = 6.0 * expected**0.5
+            assert abs(vec_counts[fault_type] - expected) <= band, fault_type
+            assert (
+                abs(legacy_counts[fault_type] - expected) <= band
+            ), fault_type
+
+    def test_block_partition_prefix_stable(self):
+        small = fleet_blocks(11, FLEET_BLOCK_CHANNELS)
+        large = fleet_blocks(11, 3 * FLEET_BLOCK_CHANNELS + 5)
+        assert large[0] == small[0]
+        assert sum(size for _, size in large) == 3 * FLEET_BLOCK_CHANNELS + 5
+
+    def test_population_prefix_stable_across_growth(self):
+        """Whole-block growth extends, never reshuffles, early channels.
+
+        Streams are owned by blocks, so prefix stability holds at block
+        granularity: a fleet of N full blocks is an exact prefix of any
+        larger fleet with the same seed.
+        """
+        small = sample_fleet(
+            FLEET_BLOCK_CHANNELS, 7.0, rate_multiplier=2.0, seed=13
+        )
+        large = sample_fleet(
+            FLEET_BLOCK_CHANNELS + 50, 7.0, rate_multiplier=2.0, seed=13
+        )
+        assert (
+            large.to_histories()[:FLEET_BLOCK_CHANNELS]
+            == small.to_histories()
+        )
+
+    def test_times_sorted_within_channel_and_in_horizon(self):
+        batch = sample_fleet(200, 5.0, rate_multiplier=30.0, seed=3)
+        batch.validate()
+        assert np.all(batch.time_hours >= 0)
+        assert np.all(batch.time_hours <= 5.0 * HOURS_PER_YEAR)
+
+    def test_coordinates_in_config_range(self):
+        batch = sample_fleet(200, 7.0, rate_multiplier=30.0, seed=4)
+        cfg = ARCC_MEMORY_CONFIG
+        assert np.all((batch.channel >= 0) & (batch.channel < cfg.channels))
+        assert np.all((batch.rank >= 0) & (batch.rank < cfg.ranks_per_channel))
+        assert np.all(
+            (batch.device >= 0) & (batch.device < cfg.devices_per_rank)
+        )
+
+    def test_rate_multiplier_increases_events(self):
+        low = sample_fleet(400, 7.0, rate_multiplier=1.0, seed=5)
+        high = sample_fleet(400, 7.0, rate_multiplier=20.0, seed=5)
+        assert high.num_events > low.num_events
+
+    def test_burn_in_phase_concentrates_events(self):
+        """A 4x burn-in half-year must raise the early arrival density."""
+        flat = sample_fleet(3000, 4.0, rate_multiplier=10.0, seed=6)
+        burned = sample_fleet(
+            3000,
+            4.0,
+            rate_multiplier=10.0,
+            seed=6,
+            phases=((0.0, 0.5, 4.0), (0.5, 3.5, 1.0)),
+        )
+        half_year = 0.5 * HOURS_PER_YEAR
+        flat_early = np.mean(flat.time_hours <= half_year)
+        burned_early = np.mean(burned.time_hours <= half_year)
+        assert burned_early > 2 * flat_early
+
+    def test_zero_rate_phase_produces_no_events(self):
+        batch = sample_fleet(
+            100, 2.0, seed=8, phases=((0.0, 2.0, 0.0),)
+        )
+        assert batch.num_events == 0
+        assert batch.num_channels == 100
+
+
+class TestVectorizedReductions:
+    def _batch_and_histories(self):
+        sim = LifetimeSimulator(rate_multiplier=8.0, seed=17)
+        batch = sim.sample_batch(250, 7.0)
+        return batch, batch.to_histories()
+
+    def test_fraction_matches_legacy_rule(self):
+        batch, histories = self._batch_and_histories()
+        matrix = faulty_fractions_by_year(batch, 7, ARCC_MEMORY_CONFIG)
+        for year in (1, 4, 7):
+            horizon = year * HOURS_PER_YEAR
+            legacy = [
+                _fraction_after_events(
+                    [e for e in events if e.time_hours <= horizon],
+                    ARCC_MEMORY_CONFIG,
+                )
+                for events in histories
+            ]
+            assert np.allclose(matrix[year - 1], legacy, rtol=1e-9, atol=1e-12)
+
+    def test_fraction_handles_lane_saturation(self):
+        """A lane fault (footprint 1.0) must drive the fraction to 1."""
+        sim = LifetimeSimulator(rate_multiplier=300.0, seed=23)
+        batch = sim.sample_batch(50, 7.0)
+        lane_code = list(FaultType).index(FaultType.LANE)
+        has_lane = np.zeros(50, dtype=bool)
+        ids = batch.channel_ids()
+        has_lane_events = batch.type_code == lane_code
+        has_lane[np.unique(ids[has_lane_events])] = True
+        matrix = faulty_fractions_by_year(batch, 7, ARCC_MEMORY_CONFIG)
+        assert has_lane.any()
+        assert np.all(matrix[-1][has_lane] == pytest.approx(1.0))
+
+    def test_overhead_matches_legacy_rule(self):
+        batch, histories = self._batch_and_histories()
+        per_fault = {
+            FaultType.LANE: 0.38,
+            FaultType.DEVICE: 0.16,
+            FaultType.BANK: 0.02,
+            FaultType.COLUMN: 0.01,
+        }
+        for cap in (1.0, 0.5, 0.05):
+            vec = overhead_series_by_year(batch, 7, per_fault, cap=cap)
+            legacy = _overhead_series(histories, 7, per_fault, cap=cap)
+            assert np.allclose(vec.mean(axis=1), legacy, rtol=1e-9)
+
+    def test_timeseries_agrees_with_legacy_sampler(self):
+        """Different streams, same physics: means within joint noise."""
+        kwargs = dict(years=7, channels=4000, rate_multiplier=4.0, seed=13)
+        vectorized = faulty_page_fraction_timeseries(**kwargs)
+        legacy = faulty_page_fraction_timeseries_legacy(**kwargs)
+        assert vectorized[-1] == pytest.approx(legacy[-1], rel=0.15)
+
+
+class TestScenarios:
+    def test_builtin_scenarios_valid(self):
+        for scenario in DEFAULT_SCENARIOS.values():
+            assert scenario.total_channels > 0
+            assert scenario.max_years >= 1
+
+    def test_resolve_by_name_and_object(self):
+        steady = DEFAULT_SCENARIOS["steady"]
+        assert resolve_scenario("steady") is steady
+        assert resolve_scenario(steady) is steady
+        with pytest.raises(KeyError):
+            resolve_scenario("no-such-scenario")
+
+    def test_scaled_to_preserves_proportions(self):
+        scenario = DEFAULT_SCENARIOS["mixed-generations"]
+        scaled = scenario.scaled_to(2000)
+        assert scaled.total_channels == pytest.approx(2000, abs=2)
+        originals = [p.channels for p in scenario.populations]
+        rescaled = [p.channels for p in scaled.populations]
+        for orig, new in zip(originals, rescaled):
+            assert new == pytest.approx(
+                orig * 2000 / scenario.total_channels, abs=1
+            )
+
+    def test_phases_cover_lifespan(self):
+        pop = SubPopulation(
+            name="bathtub",
+            channels=10,
+            lifespan_years=7.0,
+            schedule=(RatePhase(duration_years=0.5, multiplier=4.0),),
+        )
+        phases = pop.phases()
+        assert phases[0] == (0.0, 0.5, 4.0)
+        assert phases[-1] == (0.5, 6.5, 1.0)
+        assert sum(duration for _, duration, _ in phases) == pytest.approx(7.0)
+
+    def test_schedule_longer_than_lifespan_clipped(self):
+        pop = SubPopulation(
+            name="clipped",
+            channels=10,
+            lifespan_years=2.0,
+            schedule=(RatePhase(duration_years=5.0, multiplier=3.0),),
+        )
+        assert pop.phases() == [(0.0, 2.0, 3.0)]
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SubPopulation(name="x", channels=0)
+        with pytest.raises(ValueError):
+            SubPopulation(name="x", channels=1, rate_multiplier=0.0)
+        with pytest.raises(ValueError):
+            RatePhase(duration_years=0.0, multiplier=1.0)
+        with pytest.raises(ValueError):
+            FleetScenario(name="x", description="", populations=())
+        with pytest.raises(ValueError):
+            FleetScenario(
+                name="x",
+                description="",
+                populations=(
+                    SubPopulation(name="dup", channels=1),
+                    SubPopulation(name="dup", channels=1),
+                ),
+            )
+
+
+class TestFleetReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fleet("mixed-generations", channels=1500, seed=0xBEEF)
+
+    def test_slices_and_aggregate(self, report):
+        assert [s.name for s in report.subpopulations] == [
+            "arcc-new",
+            "arcc-midlife",
+            "legacy-x4",
+        ]
+        assert report.total_channels == pytest.approx(1500, abs=2)
+        assert len(report.fleet_by_year) == report.years
+
+    def test_confidence_intervals_attached(self, report):
+        for sub in report.subpopulations:
+            assert len(sub.faulty_fraction) == sub.years
+            for mean, half in sub.faulty_fraction:
+                assert 0.0 <= mean <= 1.0
+                assert half >= 0.0
+            assert sub.events_per_channel[1] >= 0.0
+            assert 0.0 <= sub.affected_fraction[0] <= 1.0
+
+    def test_harsher_slices_fault_more(self, report):
+        new, midlife, legacy = report.subpopulations
+        assert legacy.faulty_fraction[0][0] > new.faulty_fraction[0][0]
+
+    def test_in_service_channels_shrink(self, report):
+        in_service = [channels for _, _, channels in report.fleet_by_year]
+        assert in_service[0] == report.total_channels
+        assert in_service[-1] < in_service[0]
+        assert sorted(in_service, reverse=True) == in_service
+
+    def test_table_renders(self, report):
+        table = report.to_table()
+        assert "mixed-generations" in table
+        assert "±" in table
+        assert "fleet (in service)" in table
+
+    def test_jobs_1_vs_4_identical(self):
+        a = run_fleet("harsh-environment", channels=600, seed=1, jobs=1)
+        b = run_fleet("harsh-environment", channels=600, seed=1, jobs=4)
+        assert a.fleet_by_year == b.fleet_by_year
+        assert [vars(s) for s in a.subpopulations] == [
+            vars(s) for s in b.subpopulations
+        ]
+
+    def test_sub_year_lifespan_reports_one_row(self):
+        """A slice living under a year still gets a year-1 row (and the
+        fleet table still renders)."""
+        scenario = FleetScenario(
+            name="short-lived",
+            description="burn-in test rigs retired after six months",
+            populations=(
+                SubPopulation(
+                    name="rigs",
+                    channels=200,
+                    rate_multiplier=4.0,
+                    lifespan_years=0.5,
+                ),
+            ),
+        )
+        report = run_fleet(scenario)
+        assert report.years == 1
+        assert report.subpopulations[0].years == 1
+        assert len(report.fleet_by_year) == 1
+        assert "Year 1" in report.to_table()
+
+    def test_heterogeneous_configs_supported(self):
+        scenario = FleetScenario(
+            name="tiny-mixed",
+            description="one slice per memory organization",
+            populations=(
+                SubPopulation(
+                    name="arcc", channels=50, config=ARCC_MEMORY_CONFIG
+                ),
+                SubPopulation(
+                    name="baseline",
+                    channels=50,
+                    config=BASELINE_MEMORY_CONFIG,
+                    rate_multiplier=4.0,
+                ),
+            ),
+        )
+        report = run_fleet(scenario)
+        assert report.scenario == "tiny-mixed"
+        assert len(report.subpopulations) == 2
+
+
+class TestFigureIntegration:
+    def test_fig3_1_series_equal_direct_timeseries(self):
+        """Runner path and direct function path share streams exactly."""
+        result = run_fig3_1(years=3, channels=120, multipliers=(1.0, 4.0))
+        for mult in (1.0, 4.0):
+            direct = faulty_page_fraction_timeseries(
+                years=3, channels=120, rate_multiplier=mult
+            )
+            assert result.series[mult] == direct
+
+    def test_fig3_1_carries_confidence_intervals(self):
+        result = run_fig3_1(years=3, channels=150)
+        assert result.ci is not None
+        for mult, halves in result.ci.items():
+            assert len(halves) == 3
+            assert all(h >= 0 for h in halves)
+        assert "±" in result.to_table()
+
+    def test_fig7_4_7_5_carries_confidence_intervals(self):
+        result = run_fig7_4_7_5(years=3, channels=150)
+        assert result.power_ci is not None
+        assert result.performance_ci is not None
+        for mult in (1.0, 2.0, 4.0):
+            assert len(result.power_ci[mult]) == 3
+            assert all(h >= 0 for h in result.power_ci[mult])
+        assert "±" in result.to_table()
+
+    def test_registry_exposes_fleet(self):
+        from repro.runner.registry import FIGURES, build_plans
+
+        assert "fleet" in FIGURES
+        (plan,) = build_plans(["fleet"], quick=True)
+        assert plan.name == "fleet"
+        assert plan.jobs
+
+
+class TestFleetCLI:
+    def test_list_scenarios(self, capsys):
+        from repro.cli import main
+
+        assert main(["fleet", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in DEFAULT_SCENARIOS:
+            assert name in out
+
+    def test_sweep_one_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["fleet", "steady", "--channels", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet scenario 'steady'" in out
+        assert "[repro fleet] 1 scenario(s), 200 channels" in out
+
+    def test_unknown_scenario_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fleet", "definitely-not-a-scenario"])

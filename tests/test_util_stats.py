@@ -2,13 +2,16 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.util.stats import (
     OnlineStats,
+    binomial_confidence_interval,
     confidence_interval,
+    confidence_interval_from_moments,
     geometric_mean,
     harmonic_mean,
 )
@@ -69,6 +72,60 @@ class TestConfidenceInterval:
         mean, half = confidence_interval([1.0, 3.0])
         assert mean == pytest.approx(2.0)
         assert half > 0
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=40))
+    def test_numpy_path_matches_list_path(self, values):
+        """The vectorized fast path computes the same interval."""
+        list_mean, list_half = confidence_interval(values)
+        np_mean, np_half = confidence_interval(np.array(values))
+        assert np_mean == pytest.approx(list_mean, rel=1e-9, abs=1e-9)
+        assert np_half == pytest.approx(list_half, rel=1e-9, abs=1e-9)
+
+    def test_numpy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval(np.array([]))
+
+
+class TestConfidenceIntervalFromMoments:
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=40))
+    def test_matches_sample_interval(self, values):
+        """Pre-reduced moments reproduce the per-sample interval."""
+        direct = confidence_interval(values)
+        moments = confidence_interval_from_moments(
+            len(values), sum(values), sum(v * v for v in values)
+        )
+        assert moments[0] == pytest.approx(direct[0], rel=1e-9, abs=1e-9)
+        # The sum-of-squares form cancels catastrophically when the
+        # spread is tiny relative to the magnitude; the residual error
+        # scales with sqrt(eps) * |sum|.
+        tolerance = 1e-6 * (1.0 + sum(abs(v) for v in values))
+        assert moments[1] == pytest.approx(direct[1], rel=1e-6, abs=tolerance)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval_from_moments(0, 0.0, 0.0)
+
+    def test_cancellation_clamped(self):
+        """Catastrophic cancellation must not produce a NaN half-width."""
+        mean, half = confidence_interval_from_moments(3, 3.0, 3.0 - 1e-12)
+        assert mean == pytest.approx(1.0)
+        assert half == 0.0
+
+
+class TestBinomialConfidenceInterval:
+    @given(st.integers(1, 200), st.data())
+    def test_matches_indicator_vector(self, trials, data):
+        """Equivalent to confidence_interval over the implied 0/1 vector."""
+        successes = data.draw(st.integers(0, trials))
+        vector = [1.0] * successes + [0.0] * (trials - successes)
+        direct = confidence_interval(vector)
+        binomial = binomial_confidence_interval(successes, trials)
+        assert binomial[0] == pytest.approx(direct[0], abs=1e-12)
+        assert binomial[1] == pytest.approx(direct[1], abs=1e-9)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(0, 0)
 
 
 class TestOnlineStats:
