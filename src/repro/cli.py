@@ -1,28 +1,40 @@
 """Command-line interface: regenerate any paper artifact from the shell.
 
-Usage::
+Subcommands (one per reproducible artifact; see ``docs/user-guide.md``)::
 
-    python -m repro tables                # Tables 7.1-7.4
+    python -m repro tables                  # Tables 7.1-7.4
     python -m repro fig3.1 [--channels N] [--years Y] [--jobs J]
     python -m repro fig6.1 [--mc-channels N] [--jobs J]
     python -m repro fig7.1 [--instructions N] [--mixes K] [--jobs J]
     python -m repro fig7.2 [--instructions N] [--mixes K] [--jobs J]
     python -m repro fig7.4 [--channels N] [--jobs J]
     python -m repro fig7.6 [--channels N] [--jobs J]
-    python -m repro fleet [scenario ...] [--channels N] [--jobs J] [--list]
+    python -m repro fleet [scenario ...] [--scenario-file PATH]
+                          [--policies P1,P2,...] [--channels N]
+                          [--seed S] [--jobs J] [--list]
     python -m repro all [--quick] [--jobs J]
-    python -m repro run [figure ...] --jobs J [--quick] [--cache-dir D]
+    python -m repro run [figure ...] [--jobs J] [--quick]
+                        [--cache-dir D] [--no-cache]
 
 ``run`` is the parallel front door: it flattens every selected figure's
 jobs into one batch, fans them out across ``--jobs`` worker processes,
-and caches completed jobs on disk so interrupted or repeated runs only
-pay for what changed. ``--jobs 1`` and ``--jobs N`` print identical
-tables — every job owns an explicit RNG seed.
+and caches completed jobs under ``--cache-dir`` (``--no-cache``
+recomputes) so interrupted or repeated runs only pay for what changed.
+``--quick`` switches every figure to its reduced smoke scale. Figure
+keys include every table/figure above plus ``fleet`` (exposure sweep)
+and ``fleet-compare`` (the policy comparison at default scale).
+``--jobs 1`` and ``--jobs N`` print identical tables — every job owns
+an explicit RNG seed.
 
 ``fleet`` sweeps datacenter-fleet lifetime scenarios (heterogeneous
 DIMM generations, harsh environments, burn-in schedules) through the
-vectorized :mod:`repro.fleet` engine; ``--channels`` rescales whole
-fleets, so 10^5-10^6 channel populations are practical.
+vectorized :mod:`repro.fleet` engine. ``--list`` describes the
+built-ins; ``--scenario-file`` loads a declarative TOML/JSON scenario
+(schema: ``docs/scenario-files.md``); ``--policies arcc,sccdcd,lotecc``
+turns the sweep into a protection-policy comparison with a TCO-style
+decision table; ``--channels`` rescales whole fleets, so 10^5-10^6
+channel populations are practical; ``--seed`` repoints every derived
+RNG stream.
 """
 
 from __future__ import annotations
@@ -136,28 +148,116 @@ def _cmd_all(args: argparse.Namespace) -> None:
     print(run_fig7_6(channels=500 if quick else 2000, jobs=jobs).to_table())
 
 
+def _list_fleet_scenarios() -> None:
+    from repro.fleet import DEFAULT_SCENARIOS, POLICY_KEYS
+
+    for scenario in DEFAULT_SCENARIOS.values():
+        print(
+            f"{scenario.name}: {scenario.total_channels} channels, "
+            f"{len(scenario.populations)} slice(s)"
+        )
+        print(f"    {scenario.description}")
+        for pop in scenario.populations:
+            phases = (
+                "; burn-in: "
+                + ", ".join(
+                    f"{phase.multiplier:g}x for {phase.duration_years:g}y"
+                    for phase in pop.schedule
+                )
+                if pop.schedule
+                else ""
+            )
+            print(
+                f"      {pop.name}: {pop.channels} channels, "
+                f"{pop.config.name}, {pop.rate_multiplier:g}x rates, "
+                f"{pop.lifespan_years:g}y lifespan{phases}"
+            )
+    print(f"policies (--policies): {', '.join(POLICY_KEYS)}")
+
+
 def _cmd_fleet(args: argparse.Namespace) -> None:
     # Deferred import: keep `repro tables` import-light.
-    from repro.fleet import DEFAULT_SCENARIOS, plan_fleet
+    from repro.fleet import (
+        DEFAULT_FLEET_SEED,
+        DEFAULT_SCENARIOS,
+        ScenarioFileError,
+        load_scenario_file,
+        plan_fleet,
+        plan_fleet_compare,
+        resolve_policies,
+    )
+    from repro.util.suggest import unknown_key_message
 
     if args.list:
-        for scenario in DEFAULT_SCENARIOS.values():
-            print(
-                f"{scenario.name:20s} {scenario.total_channels:>8d} channels"
-                f"  {scenario.description}"
-            )
+        _list_fleet_scenarios()
         return
-    names = args.scenarios or list(DEFAULT_SCENARIOS)
-    unknown = [name for name in names if name not in DEFAULT_SCENARIOS]
-    if unknown:
-        known = ", ".join(DEFAULT_SCENARIOS)
-        raise SystemExit(
-            f"repro fleet: unknown scenario(s) {unknown}; known: {known}"
-        )
-    plans = [
-        plan_fleet(scenario=name, channels=args.channels, seed=args.seed)
+
+    file_spec = None
+    if args.scenario_file:
+        try:
+            file_spec = load_scenario_file(args.scenario_file)
+        except ScenarioFileError as exc:
+            raise SystemExit(f"repro fleet: {exc}") from exc
+
+    names = args.scenarios
+    if not names and file_spec is None:
+        names = list(DEFAULT_SCENARIOS)
+    for name in names:
+        if name not in DEFAULT_SCENARIOS:
+            raise SystemExit(
+                "repro fleet: "
+                + unknown_key_message("scenario", name, DEFAULT_SCENARIOS)
+            )
+
+    # Explicit flags win over file-level defaults; the file's channels
+    # and seed apply only to its own scenario, never to built-ins named
+    # alongside it.
+    default_seed = args.seed if args.seed is not None else DEFAULT_FLEET_SEED
+    specs = [
+        (DEFAULT_SCENARIOS[name], args.channels, default_seed)
         for name in names
     ]
+    if file_spec is not None:
+        file_channels = (
+            args.channels if args.channels is not None else file_spec.channels
+        )
+        file_seed = default_seed
+        if args.seed is None and file_spec.seed is not None:
+            file_seed = file_spec.seed
+        specs.append((file_spec.scenario, file_channels, file_seed))
+
+    policy_keys = None
+    if args.policies:
+        policy_keys = [
+            p.strip() for p in args.policies.split(",") if p.strip()
+        ]
+        if not policy_keys:
+            raise SystemExit(
+                "repro fleet: --policies needs at least one policy name"
+            )
+    elif file_spec is not None and file_spec.policies:
+        policy_keys = list(file_spec.policies)
+
+    if policy_keys:
+        try:
+            resolve_policies(policy_keys)
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise SystemExit(f"repro fleet: {message}") from exc
+        plans = [
+            plan_fleet_compare(
+                scenario=scenario,
+                policies=policy_keys,
+                channels=channels,
+                seed=seed,
+            )
+            for scenario, channels, seed in specs
+        ]
+    else:
+        plans = [
+            plan_fleet(scenario=scenario, channels=channels, seed=seed)
+            for scenario, channels, seed in specs
+        ]
     started = time.perf_counter()
     reports = execute_plans(plans, max_workers=args.jobs)
     elapsed = time.perf_counter() - started
@@ -166,9 +266,10 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
         print()
     total_jobs = sum(len(plan.jobs) for plan in plans)
     total_channels = sum(report.total_channels for report in reports)
+    mode = f"policies {','.join(policy_keys)}" if policy_keys else "exposure"
     print(
         f"[repro fleet] {len(plans)} scenario(s), {total_channels} channels, "
-        f"{total_jobs} job(s), --jobs {args.jobs}, {elapsed:.1f}s"
+        f"{total_jobs} job(s), {mode}, --jobs {args.jobs}, {elapsed:.1f}s"
     )
 
 
@@ -261,16 +362,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario names (default: all built-ins); see --list",
     )
     p.add_argument(
+        "--scenario-file",
+        default=None,
+        metavar="PATH",
+        help="load a TOML/JSON scenario file (schema: docs/scenario-files.md)",
+    )
+    p.add_argument(
+        "--policies",
+        default=None,
+        metavar="P1,P2,...",
+        help=(
+            "comma-separated protection policies to compare "
+            "(arcc, sccdcd, lotecc); omitted = exposure sweep only"
+        ),
+    )
+    p.add_argument(
         "--channels",
         type=int,
         default=None,
         help="rescale each fleet to this many total channels",
     )
-    p.add_argument("--seed", type=int, default=0xF1EE7)
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="experiment seed (default: the scenario file's, else 0xF1EE7)",
+    )
     p.add_argument(
         "--list",
         action="store_true",
-        help="list built-in scenarios and exit",
+        help="describe built-in scenarios and policies, then exit",
     )
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fleet)

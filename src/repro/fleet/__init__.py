@@ -12,10 +12,17 @@ datacenter-fleet scale:
 * :mod:`repro.fleet.scenarios` — declarative heterogeneous fleets:
   mixed DIMM generations, harsh-environment slices, burn-in schedules;
 * :mod:`repro.fleet.report` — population statistics with confidence
-  intervals, as declarative :mod:`repro.runner` jobs.
+  intervals, as declarative :mod:`repro.runner` jobs;
+* :mod:`repro.fleet.policies` — ARCC vs SCCDCD vs LOT-ECC protection
+  policies scored over the same sampled faults: lifetime overheads,
+  closed-form SDC/DUE rates and a fleet-level decision table;
+* :mod:`repro.fleet.scenario_file` — validated TOML/JSON scenario
+  files, so sweeps are drivable without writing Python.
 
 ``repro fleet`` on the command line sweeps scenarios through the
 parallel runner; 10^5-channel populations take seconds on one core.
+``repro fleet --scenario-file study.toml --policies arcc,sccdcd``
+turns the same machinery into a decision tool.
 """
 
 from repro.fleet.engine import (
@@ -28,12 +35,31 @@ from repro.fleet.engine import (
     sample_fleet,
 )
 from repro.fleet.events import FAULT_TYPE_ORDER, FaultEventBatch, empty_batch
+from repro.fleet.policies import (
+    DEFAULT_POLICY_KEYS,
+    POLICY_KEYS,
+    PolicyComparisonReport,
+    PolicyFleetSummary,
+    PolicySliceReport,
+    ProtectionPolicy,
+    plan_fleet_compare,
+    resolve_policies,
+    run_fleet_compare,
+)
 from repro.fleet.report import (
     DEFAULT_FLEET_SEED,
     FleetReport,
     SubPopulationReport,
     plan_fleet,
     run_fleet,
+)
+from repro.fleet.scenario_file import (
+    ScenarioFile,
+    ScenarioFileError,
+    dump_scenario_json,
+    load_scenario_file,
+    scenario_from_mapping,
+    scenario_to_mapping,
 )
 from repro.fleet.scenarios import (
     DEFAULT_SCENARIOS,
@@ -45,23 +71,38 @@ from repro.fleet.scenarios import (
 
 __all__ = [
     "DEFAULT_FLEET_SEED",
+    "DEFAULT_POLICY_KEYS",
     "DEFAULT_SCENARIOS",
     "FAULT_TYPE_ORDER",
     "FLEET_BLOCK_CHANNELS",
     "FaultEventBatch",
     "FleetReport",
     "FleetScenario",
+    "POLICY_KEYS",
+    "PolicyComparisonReport",
+    "PolicyFleetSummary",
+    "PolicySliceReport",
+    "ProtectionPolicy",
     "RatePhase",
+    "ScenarioFile",
+    "ScenarioFileError",
     "SubPopulation",
     "SubPopulationReport",
     "channel_arrival_rates",
+    "dump_scenario_json",
     "empty_batch",
     "faulty_fractions_by_year",
     "fleet_blocks",
+    "load_scenario_file",
     "overhead_series_by_year",
     "plan_fleet",
+    "plan_fleet_compare",
+    "resolve_policies",
     "resolve_scenario",
     "run_fleet",
+    "run_fleet_compare",
     "sample_block",
     "sample_fleet",
+    "scenario_from_mapping",
+    "scenario_to_mapping",
 ]

@@ -41,6 +41,36 @@ class FaultEventBatch:
     the faulty circuitry inside one memory system (the same fields the
     legacy :class:`~repro.faults.lifetime.FaultEvent` carries), not the
     population index — that is implicit in the offsets.
+
+    Attributes
+    ----------
+    offsets : numpy.ndarray
+        ``(members + 1,)`` int64, monotone, ``offsets[0] == 0``.
+    time_hours : numpy.ndarray
+        ``(events,)`` float64 arrival times in hours since deployment.
+    type_code : numpy.ndarray
+        ``(events,)`` int64 indices into :data:`FAULT_TYPE_ORDER`.
+    channel, rank, device : numpy.ndarray
+        ``(events,)`` int64 geometric coordinates of the faulty
+        circuitry within the member's memory system.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> batch = FaultEventBatch(
+    ...     offsets=np.array([0, 2, 2]),      # member 0: 2 events
+    ...     time_hours=np.array([4.0, 8760.0]),
+    ...     type_code=np.array([5, 3]),       # LANE, BANK
+    ...     channel=np.array([0, 1]),
+    ...     rank=np.array([0, 1]),
+    ...     device=np.array([7, 2]),
+    ... )
+    >>> batch.num_channels, batch.num_events
+    (2, 2)
+    >>> batch.per_channel.tolist()
+    [2, 0]
+    >>> [ft.value for ft in batch.fault_types()]
+    ['lane', 'bank']
     """
 
     offsets: np.ndarray  # (members + 1,) int64, monotone, offsets[0] == 0

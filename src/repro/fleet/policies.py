@@ -1,0 +1,744 @@
+"""Protection-policy comparison over fleet scenarios (TCO-style sweeps).
+
+PR 2's fleet engine reports fault *exposure* — how much memory ever sees
+a fault. This module answers the paper's actual question: which
+protection scheme should a given fleet run? Three policies compete over
+the same sampled :class:`~repro.fleet.events.FaultEventBatch` per slice:
+
+* ``arcc`` — SCCDCD+ARCC (Chapter 4): pages start relaxed and upgrade
+  per fault, so overheads *accumulate* with the Figure 7.4/7.5 per-fault
+  costs; detection is relaxed (pair-race SDC model of Section 6.2) while
+  correction matches SCCDCD.
+* ``sccdcd`` — commercial always-strong chipkill (the Table 7.1
+  baseline): a constant power premium equal to ARCC's fully-upgraded
+  state (its saturation asymptote), zero *additional* per-fault cost,
+  and the strongest detection (an SDC needs a triple).
+* ``lotecc`` — ARCC applied to LOT-ECC (Section 5.2): cheap relaxed
+  nine-device pages, but an upgraded access costs
+  :data:`~repro.core.lotecc_arcc.WORST_CASE_UPGRADE_FACTOR`x, in
+  exchange for double-chip-sparing correction that shrinks the DUE
+  exposure window from the repair interval to one scrub pass (the 17x
+  of [4]).
+
+Every (policy, slice, block) is one :class:`~repro.runner.Job`; blocks
+reuse the exact seeds of :func:`~repro.fleet.report.plan_fleet`, so all
+policies judge the *same* fault arrivals — a paired comparison, and
+bit-identical at any worker count. Monte-Carlo means (overheads,
+uncorrectable-channel fraction) carry 95% confidence intervals;
+SDC/DUE columns come from the closed-form Chapter 6 models evaluated
+per slice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MemoryConfig
+from repro.core.lotecc_arcc import WORST_CASE_UPGRADE_FACTOR
+from repro.experiments.fig7_4_7_5 import (
+    FALLBACK_OVERHEADS,
+    _SERIES_SPECS,
+    _per_fault_weights,
+)
+from repro.faults.models import TABLE_7_4_TYPES, upgraded_page_fraction
+from repro.faults.types import FaultRates, FaultType
+from repro.fleet.engine import (
+    fleet_blocks,
+    overhead_series_by_year,
+    sample_block,
+)
+from repro.fleet.events import FAULT_TYPE_ORDER, FaultEventBatch
+from repro.fleet.report import DEFAULT_FLEET_SEED, MeanCI, _Moments
+from repro.fleet.scenarios import (
+    FleetScenario,
+    SubPopulation,
+    resolve_scenario,
+)
+from repro.reliability.analytical import (
+    ReliabilityParams,
+    expected_sdc_arcc,
+    expected_sdc_sccdcd,
+)
+from repro.reliability.due import (
+    DEFAULT_REPAIR_HOURS,
+    due_rate_sccdcd,
+    due_rate_sparing,
+)
+from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
+from repro.util.rng import derive_seeds
+from repro.util.stats import binomial_confidence_interval
+from repro.util.suggest import unknown_key_message
+from repro.util.tables import format_table
+from repro.util.units import HOURS_PER_YEAR
+
+_BIT_CODE = FAULT_TYPE_ORDER.index(FaultType.BIT)
+_LANE_CODE = FAULT_TYPE_ORDER.index(FaultType.LANE)
+
+#: Exposure-window keys: how long a first fault stays dangerous.
+#: ``repair`` — the fault persists until the DIMM is serviced
+#: (:data:`~repro.reliability.due.DEFAULT_REPAIR_HOURS`); ``scrub`` —
+#: the race closes at the next scrub pass (sparing-class correction).
+WINDOWS = ("repair", "scrub")
+
+
+@dataclass(frozen=True)
+class ProtectionPolicy:
+    """One protection scheme's cost and reliability models.
+
+    Overheads are fractions of the ARCC *relaxed* baseline (the cheapest
+    mode any policy can run): ``static_*`` is paid from deployment on,
+    ``per_fault_*`` adds per arrived fault (capped at ``*_cap``, the
+    fully-upgraded behaviour) through
+    :func:`~repro.fleet.engine.overhead_series_by_year`.
+
+    ``sdc_model`` selects the Section 6.2 closed form (``"pair-race"``:
+    a second overlapping fault within one scrub interval defeats relaxed
+    detection; ``"triple"``: strong double detection, an SDC needs three
+    overlapping faults). ``due_window``/``correction_window`` pick the
+    exposure window (:data:`WINDOWS`) of the pair race that defeats
+    *correction*.
+    """
+
+    key: str
+    title: str
+    static_power_overhead: float = 0.0
+    static_performance_overhead: float = 0.0
+    per_fault_power: Dict[FaultType, float] = field(default_factory=dict)
+    per_fault_performance: Dict[FaultType, float] = field(default_factory=dict)
+    power_cap: float = 1.0
+    performance_cap: float = 0.5
+    sdc_model: str = "pair-race"
+    due_window: str = "repair"
+    correction_window: str = "repair"
+
+    def __post_init__(self) -> None:
+        if self.sdc_model not in ("pair-race", "triple"):
+            raise ValueError(f"unknown sdc_model {self.sdc_model!r}")
+        for name in ("due_window", "correction_window"):
+            if getattr(self, name) not in WINDOWS:
+                raise ValueError(f"unknown {name} {getattr(self, name)!r}")
+
+    def window_hours(self, which: str, scrub_interval_hours: float) -> float:
+        """Exposure window (hours) of ``due_window``/``correction_window``."""
+        key = getattr(self, which)
+        if key == "repair":
+            return DEFAULT_REPAIR_HOURS
+        return scrub_interval_hours
+
+
+#: Figure 7.4/7.5 accumulation caps by weight-set key (from the shared
+#: series specs, so the policy caps track the figure's).
+_FIG74_CAPS = dict(_SERIES_SPECS)
+
+
+def _arcc_policy(
+    overheads: Dict[FaultType, Tuple[float, float]],
+) -> ProtectionPolicy:
+    """SCCDCD+ARCC with the measured Figure 7.2/7.3 per-fault costs.
+
+    Weights and caps come from the same
+    :func:`~repro.experiments.fig7_4_7_5._per_fault_weights` machinery
+    Figures 7.4/7.5 use, so the policy can never drift from the figure
+    it mirrors.
+    """
+    power, perf, _, _ = _per_fault_weights(overheads)
+    return ProtectionPolicy(
+        key="arcc",
+        title="SCCDCD+ARCC (relaxed, upgrade per fault)",
+        per_fault_power=power,
+        per_fault_performance=perf,
+        power_cap=_FIG74_CAPS["power"],
+        performance_cap=_FIG74_CAPS["perf"],
+        sdc_model="pair-race",
+        due_window="repair",
+        correction_window="repair",
+    )
+
+
+def _sccdcd_policy(
+    overheads: Dict[FaultType, Tuple[float, float]],
+) -> ProtectionPolicy:
+    """Always-strong commercial chipkill (the Table 7.1 baseline).
+
+    Its constant premium is ARCC's fully-upgraded state — the measured
+    lane-fault overhead (a lane fault upgrades every page), which keeps
+    the two policies on one scale: as faults accumulate, ARCC's cost
+    approaches exactly SCCDCD's floor.
+    """
+    power, perf, _, _ = _per_fault_weights(overheads)
+    return ProtectionPolicy(
+        key="sccdcd",
+        title="SCCDCD (always strong)",
+        static_power_overhead=power.get(FaultType.LANE, 0.0),
+        static_performance_overhead=perf.get(FaultType.LANE, 0.0),
+        sdc_model="triple",
+        due_window="repair",
+        correction_window="repair",
+    )
+
+
+def _lotecc_policy(
+    overheads: Dict[FaultType, Tuple[float, float]],
+) -> ProtectionPolicy:
+    """ARCC+LOT-ECC: 4x worst-case upgraded accesses, sparing-class DUE.
+
+    Per-fault weights follow the Figure 7.6 worst-case arithmetic: a
+    fault upgrades its Table 7.4 page fraction, and an upgraded access
+    costs ``WORST_CASE_UPGRADE_FACTOR``x a relaxed one (power), with the
+    matching bandwidth-bound performance loss ``1 - 1/factor``.
+    """
+    factor = WORST_CASE_UPGRADE_FACTOR
+    perf_loss_cap = 1.0 - 1.0 / factor
+    return ProtectionPolicy(
+        key="lotecc",
+        title="LOT-ECC+ARCC (9 -> 18 devices, double sparing)",
+        per_fault_power={
+            ft: (factor - 1.0) * upgraded_page_fraction(ft)
+            for ft in TABLE_7_4_TYPES
+        },
+        per_fault_performance={
+            ft: perf_loss_cap * upgraded_page_fraction(ft)
+            for ft in TABLE_7_4_TYPES
+        },
+        power_cap=factor - 1.0,
+        performance_cap=perf_loss_cap,
+        sdc_model="pair-race",
+        due_window="scrub",
+        correction_window="scrub",
+    )
+
+
+_POLICY_BUILDERS = {
+    "arcc": _arcc_policy,
+    "sccdcd": _sccdcd_policy,
+    "lotecc": _lotecc_policy,
+}
+
+#: Policy keys ``repro fleet --policies`` accepts, in table order.
+POLICY_KEYS: Tuple[str, ...] = tuple(_POLICY_BUILDERS)
+
+#: The default three-way comparison of the paper.
+DEFAULT_POLICY_KEYS: Tuple[str, ...] = POLICY_KEYS
+
+
+def resolve_policies(
+    keys: Sequence[str],
+    overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
+) -> Tuple[ProtectionPolicy, ...]:
+    """Build policies from their keys.
+
+    ``overheads`` maps fault type -> (power ratio, perf ratio) as
+    measured by Figures 7.2/7.3 (defaults to the recorded
+    :data:`~repro.experiments.fig7_4_7_5.FALLBACK_OVERHEADS`).
+    Unknown keys raise ``KeyError`` naming the closest known policy.
+    """
+    if not keys:
+        raise ValueError("need at least one policy")
+    overheads = overheads or FALLBACK_OVERHEADS
+    policies = []
+    for key in keys:
+        if key not in _POLICY_BUILDERS:
+            raise KeyError(unknown_key_message("policy", key, POLICY_KEYS))
+        policies.append(_POLICY_BUILDERS[key](overheads))
+    if len({p.key for p in policies}) != len(policies):
+        raise ValueError("duplicate policy keys")
+    return tuple(policies)
+
+
+# -- per-slice analytic reliability -------------------------------------------
+
+
+def slice_reliability_params(pop: SubPopulation) -> ReliabilityParams:
+    """Chapter 6 parameters of *one memory channel* of a fleet slice.
+
+    Codewords never span the independent channels of a memory system
+    (the MC screen below enforces the same rule), so the closed forms
+    are evaluated per channel — ``devices_per_rank`` devices in each of
+    ``ranks_per_channel`` ranks; a lane fault's peers are the other
+    devices of *its* channel, not the whole system. Per-machine rates
+    scale the per-channel result by ``config.channels``
+    (:func:`policy_sdc_per_1k` / :func:`policy_due_per_1k`). The slice's
+    *lifetime-average* rate multiplier enters directly — burn-in phases
+    as their time-weighted mean, since the closed forms assume a
+    constant rate.
+    """
+    cfg = pop.config
+    weighted = sum(
+        duration * multiplier for _, duration, multiplier in pop.phases()
+    )
+    avg_schedule = weighted / pop.lifespan_years
+    return ReliabilityParams(
+        devices_per_rank=cfg.devices_per_rank,
+        ranks=cfg.ranks_per_channel,
+        rate_multiplier=pop.rate_multiplier * avg_schedule,
+        rates=pop.rates,
+    )
+
+
+def _saturating_per_1k(
+    expected_events: float, lifespan_years: float
+) -> float:
+    """Events per 1000 machine-years, one event retiring the machine."""
+    probability = 1.0 - math.exp(-expected_events)
+    return probability * 1000.0 / lifespan_years
+
+
+def policy_sdc_per_1k(
+    policy: ProtectionPolicy, pop: SubPopulation
+) -> float:
+    """Analytic SDCs per 1000 machine-years of one (policy, slice).
+
+    A machine is the slice's whole memory system: the per-channel
+    expected count scales by the (independent) channel count before
+    the one-event-retires-the-machine saturation.
+    """
+    params = slice_reliability_params(pop)
+    expected = (
+        expected_sdc_sccdcd(params, pop.lifespan_years)
+        if policy.sdc_model == "triple"
+        else expected_sdc_arcc(params, pop.lifespan_years)
+    )
+    return _saturating_per_1k(
+        expected * pop.config.channels, pop.lifespan_years
+    )
+
+
+def policy_due_per_1k(
+    policy: ProtectionPolicy, pop: SubPopulation
+) -> float:
+    """Analytic DUEs per 1000 machine-years of one (policy, slice)."""
+    params = slice_reliability_params(pop)
+    if policy.due_window == "scrub":
+        rate = due_rate_sparing(params)
+    else:
+        rate = due_rate_sccdcd(params)
+    expected = (
+        rate * pop.config.channels * pop.lifespan_years * HOURS_PER_YEAR
+    )
+    return _saturating_per_1k(expected, pop.lifespan_years)
+
+
+# -- Monte-Carlo uncorrectable-pair screen ------------------------------------
+
+
+def uncorrectable_candidate_channels(
+    batch: FaultEventBatch, window_hours: float
+) -> np.ndarray:
+    """Channels holding a pair no single-chipkill code can correct.
+
+    A boolean per population member: ``True`` when two device-level
+    faults (bit faults never defeat symbol correction) land on distinct
+    devices sharing codewords — same memory channel, same rank unless a
+    lane fault spans ranks — with the second arriving within
+    ``window_hours`` of the first. Coordinate-blind below the rank level
+    (the fleet batch carries no bank/row/column), so this is a
+    conservative upper bound on true footprint overlap; the closed-form
+    columns carry the exact overlap probabilities.
+    """
+    out = np.zeros(batch.num_channels, dtype=bool)
+    if batch.num_events < 2:
+        return out
+    eligible = batch.type_code != _BIT_CODE
+    counts = np.bincount(
+        batch.channel_ids()[eligible], minlength=batch.num_channels
+    )
+    for member in np.flatnonzero(counts >= 2):
+        start, stop = int(batch.offsets[member]), int(batch.offsets[member + 1])
+        idx = np.arange(start, stop)[eligible[start:stop]]
+        left, right = np.triu_indices(len(idx), k=1)
+        a, b = idx[left], idx[right]
+        # Events are time-sorted within a member, so b is the later fault.
+        in_window = batch.time_hours[b] - batch.time_hours[a] <= window_hours
+        same_channel = batch.channel[a] == batch.channel[b]
+        lane = (batch.type_code[a] == _LANE_CODE) | (
+            batch.type_code[b] == _LANE_CODE
+        )
+        same_rank = same_channel & (batch.rank[a] == batch.rank[b])
+        distinct_symbol = ~(same_rank & (batch.device[a] == batch.device[b]))
+        shares_codeword = same_channel & (lane | same_rank) & distinct_symbol
+        out[member] = bool(np.any(shares_codeword & in_window))
+    return out
+
+
+# -- runner jobs --------------------------------------------------------------
+
+
+def _policy_block_job(
+    policy: ProtectionPolicy,
+    block_seed: int,
+    channels: int,
+    sample_years: float,
+    report_years: int,
+    rate_multiplier: float,
+    config: MemoryConfig,
+    rates: FaultRates,
+    phases: Tuple[Tuple[float, float, float], ...],
+    scrub_interval_hours: float,
+) -> Dict[str, Any]:
+    """Picklable worker: one (policy, slice, block) cost evaluation.
+
+    Samples the block with the *same* seed every policy uses for this
+    (slice, block), so the comparison is paired — differences between
+    policies are pure policy, never sampling noise.
+    """
+    batch = sample_block(
+        block_seed,
+        channels,
+        sample_years,
+        rate_multiplier=rate_multiplier,
+        config=config,
+        rates=rates,
+        phases=phases,
+    )
+    power = overhead_series_by_year(
+        batch, report_years, policy.per_fault_power, cap=policy.power_cap
+    )[-1]
+    perf = overhead_series_by_year(
+        batch,
+        report_years,
+        policy.per_fault_performance,
+        cap=policy.performance_cap,
+    )[-1]
+    window = policy.window_hours("correction_window", scrub_interval_hours)
+    uncorrectable = uncorrectable_candidate_channels(batch, window)
+    return {
+        "channels": channels,
+        "power_sum": float(power.sum()),
+        "power_sumsq": float(np.square(power).sum()),
+        "perf_sum": float(perf.sum()),
+        "perf_sumsq": float(np.square(perf).sum()),
+        "uncorrectable_sum": float(uncorrectable.sum()),
+    }
+
+
+# -- reports ------------------------------------------------------------------
+
+
+@dataclass
+class PolicySliceReport:
+    """One (policy, slice) cell of the comparison.
+
+    Overheads are lifetime-average fractions of the relaxed baseline
+    (static premium included); SDC/DUE columns are the closed-form
+    Chapter 6 models per 1000 machine-years; ``uncorrectable_fraction``
+    is the Monte-Carlo upper-bound screen of
+    :func:`uncorrectable_candidate_channels`.
+    """
+
+    policy: str
+    slice_name: str
+    channels: int
+    lifespan_years: float
+    power_overhead: MeanCI
+    performance_overhead: MeanCI
+    sdc_per_1k_machine_years: float
+    due_per_1k_machine_years: float
+    uncorrectable_fraction: MeanCI
+
+
+@dataclass
+class PolicyFleetSummary:
+    """Fleet-level roll-up of one policy (channel-weighted)."""
+
+    policy: str
+    title: str
+    power_overhead: MeanCI
+    performance_overhead: MeanCI
+    #: Expected fleet-wide events per year (sum over slices of
+    #: channels x per-1000-machine-year rate / 1000).
+    sdc_events_per_year: float
+    due_events_per_year: float
+    uncorrectable_fraction: MeanCI
+
+
+@dataclass
+class PolicyComparisonReport:
+    """The TCO-style decision table of one scenario."""
+
+    scenario: str
+    description: str
+    policies: List[str]
+    slices: List[PolicySliceReport]
+    fleet: List[PolicyFleetSummary]
+
+    @property
+    def total_channels(self) -> int:
+        """Fleet size at deployment."""
+        seen = {}
+        for row in self.slices:
+            seen[row.slice_name] = row.channels
+        return sum(seen.values())
+
+    def slice_report(self, policy: str, slice_name: str) -> PolicySliceReport:
+        """Look up one (policy, slice) cell."""
+        for row in self.slices:
+            if row.policy == policy and row.slice_name == slice_name:
+                return row
+        raise KeyError(f"no report for ({policy!r}, {slice_name!r})")
+
+    def fleet_summary(self, policy: str) -> PolicyFleetSummary:
+        """Look up one policy's fleet roll-up."""
+        for row in self.fleet:
+            if row.policy == policy:
+                return row
+        raise KeyError(f"no fleet summary for {policy!r}")
+
+    def best_by(self, metric: str) -> str:
+        """Policy key minimizing a fleet metric.
+
+        ``metric`` is one of ``power``, ``performance``, ``sdc``,
+        ``due``, ``uncorrectable``.
+        """
+        getters = {
+            "power": lambda s: s.power_overhead[0],
+            "performance": lambda s: s.performance_overhead[0],
+            "sdc": lambda s: s.sdc_events_per_year,
+            "due": lambda s: s.due_events_per_year,
+            "uncorrectable": lambda s: s.uncorrectable_fraction[0],
+        }
+        if metric not in getters:
+            raise KeyError(f"unknown metric {metric!r}")
+        return min(self.fleet, key=getters[metric]).policy
+
+    def to_table(self) -> str:
+        """Render the per-slice grid plus the fleet decision table."""
+
+        def pct(stat: MeanCI) -> str:
+            mean, half = stat
+            return f"{mean * 100:.3f}% ±{half * 100:.3f}"
+
+        slice_rows = [
+            [
+                row.policy,
+                row.slice_name,
+                str(row.channels),
+                pct(row.power_overhead),
+                pct(row.performance_overhead),
+                f"{row.sdc_per_1k_machine_years:.3e}",
+                f"{row.due_per_1k_machine_years:.3e}",
+                pct(row.uncorrectable_fraction),
+            ]
+            for row in self.slices
+        ]
+        per_slice = format_table(
+            [
+                "Policy",
+                "Slice",
+                "Channels",
+                "Power ovh",
+                "Perf ovh",
+                "SDC/1k-yr",
+                "DUE/1k-yr",
+                "Unc. channels",
+            ],
+            slice_rows,
+            title=(
+                f"Policy comparison '{self.scenario}' per slice — "
+                f"{self.description}"
+            ),
+        )
+
+        fleet_rows = [
+            [
+                summary.policy,
+                pct(summary.power_overhead),
+                pct(summary.performance_overhead),
+                f"{summary.sdc_events_per_year:.3e}",
+                f"{summary.due_events_per_year:.3e}",
+                pct(summary.uncorrectable_fraction),
+            ]
+            for summary in self.fleet
+        ]
+        fleet = format_table(
+            [
+                "Policy",
+                "Power ovh",
+                "Perf ovh",
+                "SDC/yr",
+                "DUE/yr",
+                "Unc. channels",
+            ],
+            fleet_rows,
+            title=(
+                f"Fleet decision table ({self.total_channels} channels, "
+                "lifetime averages, channel-weighted)"
+            ),
+        )
+        verdict = (
+            f"Lowest power: {self.best_by('power')} | "
+            f"lowest perf loss: {self.best_by('performance')} | "
+            f"lowest SDC: {self.best_by('sdc')} | "
+            f"lowest DUE: {self.best_by('due')}"
+        )
+        return per_slice + "\n" + fleet + "\n" + verdict
+
+
+def _with_static(moments: _Moments, static: float) -> MeanCI:
+    """Moments interval shifted by a constant per-channel premium."""
+    mean, half = moments.interval()
+    return (mean + static, half)
+
+
+def plan_fleet_compare(
+    scenario: "FleetScenario | str" = "mixed-generations",
+    policies: Sequence[str] = DEFAULT_POLICY_KEYS,
+    channels: Optional[int] = None,
+    seed: int = DEFAULT_FLEET_SEED,
+    overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
+) -> ExperimentPlan:
+    """A policy comparison as runner jobs: one per (policy, slice, block).
+
+    Block seeds derive exactly as in
+    :func:`~repro.fleet.report.plan_fleet` — from ``seed`` and the slice
+    position, never from the policy — so every policy scores identical
+    fault histories and results are independent of worker count.
+    """
+    scenario = resolve_scenario(scenario)
+    if channels is not None:
+        scenario = scenario.scaled_to(channels)
+    built = resolve_policies(policies, overheads=overheads)
+    pop_seeds = derive_seeds(seed, len(scenario.populations))
+    scrub_hours = ReliabilityParams().scrub_interval_hours
+
+    jobs: List[Job] = []
+    spans: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    for policy in built:
+        for pop, pop_seed in zip(scenario.populations, pop_seeds):
+            start = len(jobs)
+            for index, (block_seed, size) in enumerate(
+                fleet_blocks(pop_seed, pop.channels)
+            ):
+                jobs.append(
+                    Job.create(
+                        f"fleet-compare[{scenario.name}/{pop.name}/"
+                        f"{policy.key}][{index}]",
+                        _policy_block_job,
+                        policy=policy,
+                        block_seed=block_seed,
+                        channels=size,
+                        sample_years=pop.lifespan_years,
+                        report_years=pop.report_years,
+                        rate_multiplier=pop.rate_multiplier,
+                        config=pop.config,
+                        rates=pop.rates,
+                        phases=tuple(pop.phases()),
+                        scrub_interval_hours=scrub_hours,
+                    )
+                )
+            spans[(policy.key, pop.name)] = (start, len(jobs))
+
+    def assemble(values: List[Dict[str, Any]]) -> PolicyComparisonReport:
+        slice_reports: List[PolicySliceReport] = []
+        summaries: List[PolicyFleetSummary] = []
+        for policy in built:
+            fleet_power = _Moments()
+            fleet_perf = _Moments()
+            fleet_unc_sum = 0.0
+            fleet_unc_n = 0
+            sdc_per_year = 0.0
+            due_per_year = 0.0
+            for pop in scenario.populations:
+                start, stop = spans[(policy.key, pop.name)]
+                power = _Moments()
+                perf = _Moments()
+                unc_sum = 0.0
+                for block in values[start:stop]:
+                    n = block["channels"]
+                    power.add(n, block["power_sum"], block["power_sumsq"])
+                    perf.add(n, block["perf_sum"], block["perf_sumsq"])
+                    unc_sum += block["uncorrectable_sum"]
+                sdc = policy_sdc_per_1k(policy, pop)
+                due = policy_due_per_1k(policy, pop)
+                slice_reports.append(
+                    PolicySliceReport(
+                        policy=policy.key,
+                        slice_name=pop.name,
+                        channels=pop.channels,
+                        lifespan_years=pop.lifespan_years,
+                        power_overhead=_with_static(
+                            power, policy.static_power_overhead
+                        ),
+                        performance_overhead=_with_static(
+                            perf, policy.static_performance_overhead
+                        ),
+                        sdc_per_1k_machine_years=sdc,
+                        due_per_1k_machine_years=due,
+                        uncorrectable_fraction=binomial_confidence_interval(
+                            int(unc_sum), pop.channels
+                        ),
+                    )
+                )
+                fleet_power.add(power.count, power.total, power.total_sq)
+                fleet_perf.add(perf.count, perf.total, perf.total_sq)
+                fleet_unc_sum += unc_sum
+                fleet_unc_n += pop.channels
+                sdc_per_year += pop.channels * sdc / 1000.0
+                due_per_year += pop.channels * due / 1000.0
+            summaries.append(
+                PolicyFleetSummary(
+                    policy=policy.key,
+                    title=policy.title,
+                    power_overhead=_with_static(
+                        fleet_power, policy.static_power_overhead
+                    ),
+                    performance_overhead=_with_static(
+                        fleet_perf, policy.static_performance_overhead
+                    ),
+                    sdc_events_per_year=sdc_per_year,
+                    due_events_per_year=due_per_year,
+                    uncorrectable_fraction=binomial_confidence_interval(
+                        int(fleet_unc_sum), fleet_unc_n
+                    ),
+                )
+            )
+        return PolicyComparisonReport(
+            scenario=scenario.name,
+            description=scenario.description,
+            policies=[policy.key for policy in built],
+            slices=slice_reports,
+            fleet=summaries,
+        )
+
+    return ExperimentPlan(name="fleet-compare", jobs=jobs, assemble=assemble)
+
+
+def run_fleet_compare(
+    scenario: "FleetScenario | str" = "mixed-generations",
+    policies: Sequence[str] = DEFAULT_POLICY_KEYS,
+    channels: Optional[int] = None,
+    seed: int = DEFAULT_FLEET_SEED,
+    overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> PolicyComparisonReport:
+    """Compare protection policies over one fleet scenario.
+
+    Parameters
+    ----------
+    scenario : FleetScenario or str
+        A scenario object, a built-in name, or one loaded from a file
+        via :func:`~repro.fleet.scenario_file.load_scenario_file`.
+    policies : sequence of str
+        Keys from :data:`POLICY_KEYS` (``arcc``, ``sccdcd``, ``lotecc``).
+    channels : int, optional
+        Rescale the whole fleet proportionally to this many channels.
+    seed : int
+        Experiment seed; block streams derive from it deterministically.
+    jobs : int
+        Worker processes (1 = inline; results are identical).
+    """
+    return execute_plan(
+        plan_fleet_compare(
+            scenario=scenario,
+            policies=policies,
+            channels=channels,
+            seed=seed,
+            overheads=overheads,
+        ),
+        max_workers=jobs,
+        cache=cache,
+    )

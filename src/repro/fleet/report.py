@@ -231,6 +231,24 @@ def plan_fleet(
     from ``seed`` and its position, and every block's stream derives from
     the slice seed and the block index, so results are independent of
     worker count and prefix-stable as the fleet grows.
+
+    Parameters
+    ----------
+    scenario : FleetScenario or str
+        A scenario object or a built-in name (see
+        :data:`~repro.fleet.scenarios.DEFAULT_SCENARIOS`).
+    channels : int, optional
+        Rescale the fleet to this many total channels.
+    seed : int
+        Experiment seed; every RNG stream derives from it.
+
+    Examples
+    --------
+    >>> plan = plan_fleet("mixed-generations", channels=1000)
+    >>> plan.name
+    'fleet'
+    >>> len(plan.jobs)      # three slices, one sampling block each
+    3
     """
     scenario = resolve_scenario(scenario)
     if channels is not None:
@@ -284,7 +302,35 @@ def run_fleet(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> FleetReport:
-    """Simulate one fleet scenario and aggregate its report."""
+    """Simulate one fleet scenario and aggregate its report.
+
+    Parameters
+    ----------
+    scenario : FleetScenario or str
+        A scenario object or a built-in name.
+    channels : int, optional
+        Rescale the fleet to this many total channels.
+    seed : int
+        Experiment seed (same seed, same report — at any ``jobs``).
+    jobs : int
+        Worker processes (1 = run inline; results are identical).
+    cache : ResultCache, optional
+        Disk cache for completed block jobs.
+
+    Returns
+    -------
+    FleetReport
+        Per-slice and fleet-aggregate statistics; every mean carries a
+        95% confidence half-width.
+
+    Examples
+    --------
+    >>> report = run_fleet("steady", channels=64, seed=1)
+    >>> report.scenario
+    'steady'
+    >>> len(report.fleet_by_year)       # one row per service year
+    7
+    """
     return execute_plan(
         plan_fleet(scenario=scenario, channels=channels, seed=seed),
         max_workers=jobs,

@@ -1,0 +1,427 @@
+"""Declarative TOML/JSON fleet-scenario files.
+
+Studies shouldn't require Python: a scenario file names its
+sub-populations, rate phases, policies and seed, and ``repro fleet
+--scenario-file PATH`` (optionally with ``--policies``) runs the sweep.
+The full schema — every key, type, default and unit — is documented in
+``docs/scenario-files.md``, with worked examples under
+``examples/scenarios/``.
+
+Validation is strict and errors are precise: every message carries the
+dotted path of the offending key (``populations[1].rate_multiplier``),
+unknown keys are rejected with a closest-match suggestion, and types are
+checked before values. :func:`scenario_to_mapping` is the exact inverse
+of :func:`scenario_from_mapping`, so ``load -> dump -> load`` round-trips
+(the round-trip test in ``tests/test_scenario_file.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import (
+    ARCC_MEMORY_CONFIG,
+    BASELINE_MEMORY_CONFIG,
+    MemoryConfig,
+)
+from repro.faults.types import DEFAULT_FIT_RATES, FaultRates
+from repro.fleet.scenarios import FleetScenario, RatePhase, SubPopulation
+from repro.util.suggest import did_you_mean
+
+#: Named memory organizations a scenario file may reference.
+CONFIG_NAMES: Dict[str, MemoryConfig] = {
+    "arcc": ARCC_MEMORY_CONFIG,
+    "baseline": BASELINE_MEMORY_CONFIG,
+}
+
+_RATE_FIELDS = tuple(f.name for f in fields(FaultRates))
+
+_TOP_LEVEL_KEYS = (
+    "name",
+    "description",
+    "seed",
+    "channels",
+    "policies",
+    "populations",
+)
+_POPULATION_KEYS = (
+    "name",
+    "channels",
+    "config",
+    "rates",
+    "rate_multiplier",
+    "lifespan_years",
+    "schedule",
+)
+_PHASE_KEYS = ("duration_years", "multiplier")
+
+
+class ScenarioFileError(ValueError):
+    """A scenario file failed validation.
+
+    The message always names the offending key path (and the file, when
+    loaded from disk) so a typo in slice three of a forty-line file is a
+    one-glance fix.
+    """
+
+
+@dataclass(frozen=True)
+class ScenarioFile:
+    """A parsed scenario file: the scenario plus its run defaults.
+
+    ``seed``/``channels``/``policies`` are optional file-level defaults
+    for the corresponding ``repro fleet`` flags; explicit command-line
+    flags win over them. ``seed`` and ``channels`` apply only to this
+    file's scenario (built-in scenarios named alongside it keep their
+    own defaults); ``policies`` selects the run's mode, so it applies
+    to the whole invocation.
+    """
+
+    scenario: FleetScenario
+    seed: Optional[int] = None
+    channels: Optional[int] = None
+    policies: Optional[Tuple[str, ...]] = None
+
+
+def _fail(path: str, message: str) -> "ScenarioFileError":
+    prefix = f"{path}: " if path else ""
+    return ScenarioFileError(f"{prefix}{message}")
+
+
+def _check_keys(
+    mapping: Mapping[str, Any], allowed: Sequence[str], path: str
+) -> None:
+    if not isinstance(mapping, Mapping):
+        raise _fail(path, f"expected a table/object, got {_type_name(mapping)}")
+    for key in mapping:
+        if key not in allowed:
+            raise _fail(
+                f"{path}.{key}" if path else str(key),
+                f"unknown key{did_you_mean(str(key), allowed)}; "
+                f"allowed: {', '.join(allowed)}",
+            )
+
+
+def _type_name(value: Any) -> str:
+    return type(value).__name__
+
+
+def _get_str(mapping: Mapping[str, Any], key: str, path: str) -> str:
+    if key not in mapping:
+        raise _fail(path, f"missing required key {key!r}")
+    value = mapping[key]
+    if not isinstance(value, str):
+        raise _fail(f"{path}.{key}", f"expected str, got {_type_name(value)}")
+    if not value:
+        raise _fail(f"{path}.{key}", "must not be empty")
+    return value
+
+
+def _get_int(
+    mapping: Mapping[str, Any],
+    key: str,
+    path: str,
+    minimum: Optional[int] = None,
+) -> int:
+    value = mapping[key]
+    # bool is an int subclass; a scenario never wants `channels = true`.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(f"{path}.{key}", f"expected int, got {_type_name(value)}")
+    if minimum is not None and value < minimum:
+        raise _fail(f"{path}.{key}", f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _get_float(
+    mapping: Mapping[str, Any],
+    key: str,
+    path: str,
+    minimum: Optional[float] = None,
+    exclusive: bool = False,
+) -> float:
+    value = mapping[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(
+            f"{path}.{key}", f"expected number, got {_type_name(value)}"
+        )
+    value = float(value)
+    if minimum is not None:
+        if exclusive and value <= minimum:
+            raise _fail(f"{path}.{key}", f"must be > {minimum:g}, got {value:g}")
+        if not exclusive and value < minimum:
+            raise _fail(
+                f"{path}.{key}", f"must be >= {minimum:g}, got {value:g}"
+            )
+    return value
+
+
+def _parse_rates(raw: Any, path: str) -> FaultRates:
+    _check_keys(raw, _RATE_FIELDS, path)
+    values = {}
+    for name in _RATE_FIELDS:
+        if name in raw:
+            values[name] = _get_float(raw, name, path, minimum=0.0)
+        else:
+            values[name] = getattr(DEFAULT_FIT_RATES, name)
+    return FaultRates(**values)
+
+
+def _parse_phase(raw: Any, path: str) -> RatePhase:
+    _check_keys(raw, _PHASE_KEYS, path)
+    for key in _PHASE_KEYS:
+        if key not in raw:
+            raise _fail(path, f"missing required key {key!r}")
+    return RatePhase(
+        duration_years=_get_float(
+            raw, "duration_years", path, minimum=0.0, exclusive=True
+        ),
+        multiplier=_get_float(raw, "multiplier", path, minimum=0.0),
+    )
+
+
+def _parse_population(raw: Any, path: str) -> SubPopulation:
+    _check_keys(raw, _POPULATION_KEYS, path)
+    name = _get_str(raw, "name", path)
+    if "channels" not in raw:
+        raise _fail(path, "missing required key 'channels'")
+    channels = _get_int(raw, "channels", path, minimum=1)
+
+    config = ARCC_MEMORY_CONFIG
+    if "config" in raw:
+        config_name = _get_str(raw, "config", path)
+        if config_name not in CONFIG_NAMES:
+            raise _fail(
+                f"{path}.config",
+                f"unknown memory config {config_name!r}; "
+                f"known: {', '.join(CONFIG_NAMES)}",
+            )
+        config = CONFIG_NAMES[config_name]
+
+    rates = DEFAULT_FIT_RATES
+    if "rates" in raw:
+        rates = _parse_rates(raw["rates"], f"{path}.rates")
+
+    rate_multiplier = 1.0
+    if "rate_multiplier" in raw:
+        rate_multiplier = _get_float(
+            raw, "rate_multiplier", path, minimum=0.0, exclusive=True
+        )
+    lifespan_years = 7.0
+    if "lifespan_years" in raw:
+        lifespan_years = _get_float(
+            raw, "lifespan_years", path, minimum=0.0, exclusive=True
+        )
+
+    schedule: Tuple[RatePhase, ...] = ()
+    if "schedule" in raw:
+        phases = raw["schedule"]
+        if not isinstance(phases, Sequence) or isinstance(phases, (str, bytes)):
+            raise _fail(
+                f"{path}.schedule",
+                f"expected an array of tables, got {_type_name(phases)}",
+            )
+        schedule = tuple(
+            _parse_phase(phase, f"{path}.schedule[{i}]")
+            for i, phase in enumerate(phases)
+        )
+
+    return SubPopulation(
+        name=name,
+        channels=channels,
+        config=config,
+        rates=rates,
+        rate_multiplier=rate_multiplier,
+        lifespan_years=lifespan_years,
+        schedule=schedule,
+    )
+
+
+def scenario_from_mapping(
+    raw: Mapping[str, Any], source: str = ""
+) -> ScenarioFile:
+    """Validate a parsed TOML/JSON mapping into a :class:`ScenarioFile`.
+
+    ``source`` (usually the file path) prefixes every error message.
+    Raises :class:`ScenarioFileError` with the dotted path of the first
+    offending key.
+    """
+    try:
+        _check_keys(raw, _TOP_LEVEL_KEYS, "")
+        name = _get_str(raw, "name", "")
+        description = ""
+        if "description" in raw:
+            value = raw["description"]
+            if not isinstance(value, str):
+                raise _fail(
+                    "description", f"expected str, got {_type_name(value)}"
+                )
+            description = value
+
+        seed = None
+        if "seed" in raw:
+            seed = _get_int(raw, "seed", "", minimum=0)
+        channels = None
+        if "channels" in raw:
+            channels = _get_int(raw, "channels", "", minimum=1)
+
+        policies: Optional[Tuple[str, ...]] = None
+        if "policies" in raw:
+            value = raw["policies"]
+            if not isinstance(value, Sequence) or isinstance(
+                value, (str, bytes)
+            ):
+                raise _fail(
+                    "policies",
+                    f"expected an array of strings, got {_type_name(value)}",
+                )
+            for i, item in enumerate(value):
+                if not isinstance(item, str):
+                    raise _fail(
+                        f"policies[{i}]",
+                        f"expected str, got {_type_name(item)}",
+                    )
+            policies = tuple(value)
+
+        if "populations" not in raw:
+            raise _fail("", "missing required key 'populations'")
+        raw_pops = raw["populations"]
+        if not isinstance(raw_pops, Sequence) or isinstance(
+            raw_pops, (str, bytes)
+        ):
+            raise _fail(
+                "populations",
+                f"expected an array of tables, got {_type_name(raw_pops)}",
+            )
+        if not raw_pops:
+            raise _fail("populations", "needs at least one sub-population")
+        populations = tuple(
+            _parse_population(pop, f"populations[{i}]")
+            for i, pop in enumerate(raw_pops)
+        )
+
+        try:
+            scenario = FleetScenario(
+                name=name, description=description, populations=populations
+            )
+        except ValueError as exc:
+            raise _fail("populations", str(exc)) from exc
+    except ScenarioFileError as exc:
+        if source:
+            raise ScenarioFileError(f"{source}: {exc}") from None
+        raise
+    return ScenarioFile(
+        scenario=scenario, seed=seed, channels=channels, policies=policies
+    )
+
+
+def load_scenario_file(path: "str | Path") -> ScenarioFile:
+    """Load and validate a ``.toml`` or ``.json`` scenario file.
+
+    The format is chosen by file extension. Raises
+    :class:`ScenarioFileError` on validation failures (message prefixed
+    with the file path and the offending key path) and ``OSError`` when
+    the file cannot be read.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        import tomllib
+
+        try:
+            with path.open("rb") as handle:
+                raw = tomllib.load(handle)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioFileError(f"{path}: invalid TOML: {exc}") from exc
+    elif suffix == ".json":
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ScenarioFileError(f"{path}: invalid JSON: {exc}") from exc
+    else:
+        raise ScenarioFileError(
+            f"{path}: unsupported extension {suffix!r} (use .toml or .json)"
+        )
+    if not isinstance(raw, Mapping):
+        raise ScenarioFileError(
+            f"{path}: top level must be a table/object, "
+            f"got {_type_name(raw)}"
+        )
+    return scenario_from_mapping(raw, source=str(path))
+
+
+def _config_name(config: MemoryConfig) -> str:
+    for name, known in CONFIG_NAMES.items():
+        if known == config:
+            return name
+    raise ScenarioFileError(
+        f"memory config {config.name!r} has no file-format name; "
+        f"known: {', '.join(CONFIG_NAMES)}"
+    )
+
+
+def scenario_to_mapping(
+    scenario: FleetScenario,
+    seed: Optional[int] = None,
+    channels: Optional[int] = None,
+    policies: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The plain-dict form of a scenario — the inverse of
+    :func:`scenario_from_mapping`.
+
+    Every population is written out in full (no defaults elided), so a
+    dump is self-documenting and round-trips exactly.
+    """
+    populations: List[Dict[str, Any]] = []
+    for pop in scenario.populations:
+        entry: Dict[str, Any] = {
+            "name": pop.name,
+            "channels": pop.channels,
+            "config": _config_name(pop.config),
+            "rates": {
+                name: getattr(pop.rates, name) for name in _RATE_FIELDS
+            },
+            "rate_multiplier": pop.rate_multiplier,
+            "lifespan_years": pop.lifespan_years,
+        }
+        if pop.schedule:
+            entry["schedule"] = [
+                {
+                    "duration_years": phase.duration_years,
+                    "multiplier": phase.multiplier,
+                }
+                for phase in pop.schedule
+            ]
+        populations.append(entry)
+    out: Dict[str, Any] = {
+        "name": scenario.name,
+        "description": scenario.description,
+        "populations": populations,
+    }
+    if seed is not None:
+        out["seed"] = seed
+    if channels is not None:
+        out["channels"] = channels
+    if policies is not None:
+        out["policies"] = list(policies)
+    return out
+
+
+def dump_scenario_json(
+    scenario: FleetScenario,
+    path: "str | Path",
+    seed: Optional[int] = None,
+    channels: Optional[int] = None,
+    policies: Optional[Sequence[str]] = None,
+) -> None:
+    """Write a scenario as a ``.json`` file :func:`load_scenario_file`
+    accepts (the stdlib has no TOML writer, so dumps are JSON-only)."""
+    mapping = scenario_to_mapping(
+        scenario, seed=seed, channels=channels, policies=policies
+    )
+    Path(path).write_text(
+        json.dumps(mapping, indent=2) + "\n", encoding="utf-8"
+    )

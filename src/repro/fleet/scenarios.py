@@ -41,6 +41,36 @@ class SubPopulation:
     beyond the last phase runs at multiplier 1.0 (steady state). An empty
     schedule is a constant-rate population. ``rate_multiplier`` scales
     everything uniformly on top (the paper's 1x/2x/4x sweeps).
+
+    Parameters
+    ----------
+    name : str
+        Slice name, unique within its scenario.
+    channels : int
+        Memory channels deployed in this slice (> 0).
+    config : MemoryConfig
+        Memory organization (Table 7.1); default is the ARCC row.
+    rates : FaultRates
+        Per-device fault rates in FIT (failures per 10^9 device-hours);
+        default is the SC'12 field study.
+    rate_multiplier : float
+        Uniform scale on every FIT rate (> 0).
+    lifespan_years : float
+        Years in service (> 0); the slice leaves fleet aggregates after.
+    schedule : tuple of RatePhase
+        Piecewise rate phases from deployment, in years.
+
+    Examples
+    --------
+    >>> pop = SubPopulation(
+    ...     name="hot-aisle", channels=2000, rate_multiplier=4.0,
+    ...     lifespan_years=5.0,
+    ...     schedule=(RatePhase(duration_years=0.5, multiplier=2.0),),
+    ... )
+    >>> pop.phases()        # (start, duration, multiplier), in years
+    [(0.0, 0.5, 2.0), (0.5, 4.5, 1.0)]
+    >>> pop.report_years
+    5
     """
 
     name: str
@@ -85,7 +115,33 @@ class SubPopulation:
 
 @dataclass(frozen=True)
 class FleetScenario:
-    """A named composition of sub-populations."""
+    """A named composition of sub-populations.
+
+    Parameters
+    ----------
+    name : str
+        Scenario name; appears in report titles and job names.
+    description : str
+        One-line description for report titles and ``repro fleet --list``.
+    populations : tuple of SubPopulation
+        The fleet's slices; at least one, names unique.
+
+    Examples
+    --------
+    >>> fleet = FleetScenario(
+    ...     name="tiny", description="doc example",
+    ...     populations=(
+    ...         SubPopulation(name="a", channels=750),
+    ...         SubPopulation(name="b", channels=250, lifespan_years=3.0),
+    ...     ),
+    ... )
+    >>> fleet.total_channels
+    1000
+    >>> fleet.max_years      # widest slice, in whole reporting years
+    7
+    >>> [pop.channels for pop in fleet.scaled_to(100).populations]
+    [75, 25]
+    """
 
     name: str
     description: str

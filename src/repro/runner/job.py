@@ -55,6 +55,16 @@ class Job:
     key them via :meth:`describe`, not ``hash``); ``seed`` (when set) is
     passed as the ``seed`` keyword, giving every job its own
     deterministic RNG stream.
+
+    Examples
+    --------
+    >>> def double(x):
+    ...     return 2 * x
+    >>> job = Job.create("double[3]", double, x=3)
+    >>> job.execute()
+    6
+    >>> job.describe()["config"]
+    {'x': 3}
     """
 
     name: str
@@ -121,6 +131,18 @@ class ExperimentPlan:
     ``assemble`` receives the job values in job order and builds the
     figure's result object; it runs in the parent process, so it may be a
     closure over the plan's parameters.
+
+    Examples
+    --------
+    >>> def double(x):
+    ...     return 2 * x
+    >>> plan = ExperimentPlan(
+    ...     name="demo",
+    ...     jobs=[Job.create(f"double[{x}]", double, x=x) for x in (1, 2)],
+    ...     assemble=sum,
+    ... )
+    >>> plan.assemble([job.execute() for job in plan.jobs])
+    6
     """
 
     name: str

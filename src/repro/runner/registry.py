@@ -23,7 +23,7 @@ from repro.experiments import (
     render_table_7_3,
     render_table_7_4,
 )
-from repro.fleet import plan_fleet
+from repro.fleet import plan_fleet, plan_fleet_compare
 from repro.runner.job import ExperimentPlan
 from repro.workloads.spec import ALL_MIXES
 
@@ -124,6 +124,13 @@ FIGURES: Dict[str, FigureSpec] = {
             "fleet",
             "Fleet scenario: heterogeneous lifetime populations",
             plan_fleet,
+            defaults={"scenario": "mixed-generations", "channels": 100_000},
+            quick={"scenario": "mixed-generations", "channels": 4_000},
+        ),
+        FigureSpec(
+            "fleet-compare",
+            "Fleet policy comparison: ARCC vs SCCDCD vs LOT-ECC",
+            plan_fleet_compare,
             defaults={"scenario": "mixed-generations", "channels": 100_000},
             quick={"scenario": "mixed-generations", "channels": 4_000},
         ),

@@ -15,6 +15,7 @@ from repro.util.stats import (
     geometric_mean,
     harmonic_mean,
 )
+from repro.util.suggest import did_you_mean, unknown_key_message
 from repro.util.tables import format_table
 from repro.util.units import (
     FIT_TO_PER_HOUR,
@@ -37,6 +38,7 @@ __all__ = [
     "bytes_to_symbols",
     "confidence_interval",
     "derive_seeds",
+    "did_you_mean",
     "extract_bits",
     "format_table",
     "geometric_mean",
@@ -46,4 +48,5 @@ __all__ = [
     "parity",
     "split_rng",
     "symbols_to_bytes",
+    "unknown_key_message",
 ]

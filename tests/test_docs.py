@@ -1,0 +1,150 @@
+"""Documentation integrity: links, doctests, CLI help coverage.
+
+Three rot vectors, all cheap to pin:
+
+* intra-repo Markdown links (``docs/``, ``README.md``, ...) must point
+  at files that exist — a rename breaks the docs silently otherwise;
+* the doctest examples on the public fleet/runner API must keep
+  running — they are the copy-pasteable entry points the user guide
+  links to;
+* ``repro --help`` and the :mod:`repro.cli` module docstring must
+  mention every registered subcommand, so new commands cannot ship
+  undocumented.
+
+The CI docs job runs exactly this module.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links must resolve (repo-relative globs).
+MARKDOWN_GLOBS = ("*.md", "docs/*.md", "examples/**/*.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Modules whose docstring examples the user guide leans on.
+DOCTEST_MODULES = (
+    "repro.fleet.scenarios",
+    "repro.fleet.events",
+    "repro.fleet.report",
+    "repro.fleet.policies",
+    "repro.fleet.scenario_file",
+    "repro.runner.job",
+)
+
+
+def _markdown_files():
+    seen = []
+    for pattern in MARKDOWN_GLOBS:
+        seen.extend(sorted(REPO_ROOT.glob(pattern)))
+    return seen
+
+
+def _intra_repo_links(path: Path):
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        # GitHub-relative URLs (the CI badge) resolve outside the repo.
+        if REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+            continue
+        yield target, resolved
+
+
+class TestMarkdownLinks:
+    def test_docs_tree_exists(self):
+        for page in ("user-guide.md", "scenario-files.md", "architecture.md"):
+            assert (REPO_ROOT / "docs" / page).is_file(), page
+
+    def test_readme_links_into_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for page in ("user-guide.md", "scenario-files.md", "architecture.md"):
+            assert f"docs/{page}" in readme, page
+
+    @pytest.mark.parametrize(
+        "path", _markdown_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+    )
+    def test_intra_repo_links_resolve(self, path):
+        broken = [
+            target
+            for target, resolved in _intra_repo_links(path)
+            if not resolved.exists()
+        ]
+        assert not broken, f"broken links in {path.name}: {broken}"
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+    def test_module_doctests_pass(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module, verbose=False)
+        assert result.failed == 0, f"{module_name}: {result.failed} failed"
+
+    def test_examples_actually_exist(self):
+        """At least the documented entry points carry runnable examples."""
+        import repro.fleet.report as report
+        import repro.fleet.scenarios as scenarios
+        import repro.runner.job as job
+
+        finder = doctest.DocTestFinder()
+        for module, names in (
+            (scenarios, ("SubPopulation", "FleetScenario")),
+            (report, ("plan_fleet", "run_fleet")),
+            (job, ("Job", "ExperimentPlan")),
+        ):
+            found = {
+                test.name.split(".")[-1]
+                for test in finder.find(module)
+                if test.examples
+            }
+            for name in names:
+                assert name in found, f"{module.__name__}.{name} lost its example"
+
+
+class TestCliDocumentation:
+    def _subcommands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                return list(action.choices)
+        raise AssertionError("no subparsers found")
+
+    def test_help_mentions_every_subcommand(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in self._subcommands():
+            assert name in out, f"--help does not mention {name!r}"
+
+    def test_module_docstring_covers_every_subcommand(self):
+        import repro.cli as cli
+
+        for name in self._subcommands():
+            assert name in cli.__doc__, (
+                f"cli module docstring does not document {name!r}"
+            )
+
+    def test_module_docstring_covers_new_fleet_flags(self):
+        import repro.cli as cli
+
+        for flag in ("--scenario-file", "--policies", "--no-cache", "--quick"):
+            assert flag in cli.__doc__, flag
+
+    def test_run_registry_keys_documented(self):
+        """Registry keys beyond the figure subcommands (fleet-compare)."""
+        import repro.cli as cli
+        from repro.runner.registry import FIGURES
+
+        assert "fleet-compare" in FIGURES
+        assert "fleet-compare" in cli.__doc__

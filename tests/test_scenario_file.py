@@ -1,0 +1,362 @@
+"""Tests for the TOML/JSON scenario-file loader.
+
+The load-bearing guarantees: ``load -> dump -> load`` round-trips
+exactly; validation rejects unknown keys, wrong types and negative
+rates with the offending key path in the message; the shipped example
+files are valid; and ``repro fleet --scenario-file`` works end to end
+on a tiny two-slice file.
+"""
+
+import json
+
+import pytest
+
+from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG
+from repro.fleet import (
+    FleetScenario,
+    RatePhase,
+    ScenarioFileError,
+    SubPopulation,
+    dump_scenario_json,
+    load_scenario_file,
+    scenario_from_mapping,
+    scenario_to_mapping,
+)
+
+TINY_TOML = """
+name = "tiny"
+description = "two-slice test fleet"
+seed = 7
+channels = 400
+
+[[populations]]
+name = "fresh"
+channels = 300
+config = "arcc"
+lifespan_years = 2.0
+
+[[populations.schedule]]
+duration_years = 0.5
+multiplier = 4.0
+
+[[populations]]
+name = "legacy"
+channels = 100
+config = "baseline"
+rate_multiplier = 2.0
+lifespan_years = 1.0
+
+[populations.rates]
+bit = 20.0
+"""
+
+
+@pytest.fixture
+def tiny_toml(tmp_path):
+    path = tmp_path / "tiny.toml"
+    path.write_text(TINY_TOML)
+    return path
+
+
+def _mapping():
+    return json.loads(
+        json.dumps(
+            scenario_to_mapping(
+                FleetScenario(
+                    name="m",
+                    description="d",
+                    populations=(
+                        SubPopulation(
+                            name="a",
+                            channels=64,
+                            schedule=(
+                                RatePhase(duration_years=0.5, multiplier=3.0),
+                            ),
+                        ),
+                        SubPopulation(
+                            name="b",
+                            channels=32,
+                            config=BASELINE_MEMORY_CONFIG,
+                            rate_multiplier=4.0,
+                            lifespan_years=3.0,
+                        ),
+                    ),
+                ),
+                seed=11,
+                channels=96,
+                policies=("arcc", "lotecc"),
+            )
+        )
+    )
+
+
+class TestLoading:
+    def test_toml_loads(self, tiny_toml):
+        spec = load_scenario_file(tiny_toml)
+        assert spec.scenario.name == "tiny"
+        assert spec.seed == 7
+        assert spec.channels == 400
+        assert spec.policies is None
+        fresh, legacy = spec.scenario.populations
+        assert fresh.config == ARCC_MEMORY_CONFIG
+        assert fresh.schedule == (
+            RatePhase(duration_years=0.5, multiplier=4.0),
+        )
+        assert legacy.config == BASELINE_MEMORY_CONFIG
+        assert legacy.rates.bit == 20.0
+        # Omitted rate fields keep the SC'12 defaults.
+        assert legacy.rates.row == 8.2
+
+    def test_json_loads(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(_mapping()))
+        spec = load_scenario_file(path)
+        assert spec.scenario.name == "m"
+        assert spec.policies == ("arcc", "lotecc")
+
+    def test_shipped_examples_load(self):
+        toml = load_scenario_file("examples/scenarios/mixed_generations.toml")
+        assert toml.scenario.total_channels == toml.channels == 20_000
+        assert toml.policies == ("arcc", "sccdcd", "lotecc")
+        js = load_scenario_file("examples/scenarios/burnin_study.json")
+        assert len(js.scenario.populations[0].schedule) == 2
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "tiny.yaml"
+        path.write_text("name: tiny")
+        with pytest.raises(ScenarioFileError, match="unsupported extension"):
+            load_scenario_file(path)
+
+    def test_invalid_toml_reports_file(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("name = [unclosed")
+        with pytest.raises(ScenarioFileError, match="invalid TOML"):
+            load_scenario_file(path)
+
+    def test_error_prefixed_with_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(ScenarioFileError, match="bad.json"):
+            load_scenario_file(path)
+
+
+class TestRoundTrip:
+    def test_mapping_round_trip_exact(self):
+        first = scenario_from_mapping(_mapping())
+        again = scenario_from_mapping(
+            scenario_to_mapping(
+                first.scenario,
+                seed=first.seed,
+                channels=first.channels,
+                policies=first.policies,
+            )
+        )
+        assert again == first
+
+    def test_file_round_trip_exact(self, tiny_toml, tmp_path):
+        first = load_scenario_file(tiny_toml)
+        dumped = tmp_path / "dumped.json"
+        dump_scenario_json(
+            first.scenario, dumped, seed=first.seed, channels=first.channels
+        )
+        again = load_scenario_file(dumped)
+        assert again == first
+
+    def test_unnamed_config_not_dumpable(self):
+        from dataclasses import replace
+
+        custom = replace(ARCC_MEMORY_CONFIG, name="custom", channels=4)
+        scenario = FleetScenario(
+            name="x",
+            description="",
+            populations=(
+                SubPopulation(name="a", channels=1, config=custom),
+            ),
+        )
+        with pytest.raises(ScenarioFileError, match="no file-format name"):
+            scenario_to_mapping(scenario)
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        raw = _mapping()
+        raw["chanels"] = 5
+        with pytest.raises(ScenarioFileError, match=r"chanels.*did you mean"):
+            scenario_from_mapping(raw)
+
+    def test_unknown_population_key_names_index(self):
+        raw = _mapping()
+        raw["populations"][1]["chanels"] = 5
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"populations\[1\]\.chanels.*did you mean 'channels'",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_wrong_type_names_path(self):
+        raw = _mapping()
+        raw["populations"][0]["channels"] = "lots"
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"populations\[0\]\.channels: expected int, got str",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_bool_is_not_an_int(self):
+        raw = _mapping()
+        raw["populations"][0]["channels"] = True
+        with pytest.raises(
+            ScenarioFileError, match=r"populations\[0\]\.channels"
+        ):
+            scenario_from_mapping(raw)
+
+    def test_negative_rate_names_full_path(self):
+        raw = _mapping()
+        raw["populations"][0]["rates"]["bit"] = -1.0
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"populations\[0\]\.rates\.bit: must be >= 0",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_zero_channels_rejected(self):
+        raw = _mapping()
+        raw["populations"][0]["channels"] = 0
+        with pytest.raises(
+            ScenarioFileError, match=r"populations\[0\]\.channels: must be >= 1"
+        ):
+            scenario_from_mapping(raw)
+
+    def test_bad_schedule_phase_names_index(self):
+        raw = _mapping()
+        raw["populations"][0]["schedule"][0]["duration_years"] = 0
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"populations\[0\]\.schedule\[0\]\.duration_years: must be > 0",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_missing_required_keys(self):
+        with pytest.raises(ScenarioFileError, match="missing required key 'name'"):
+            scenario_from_mapping({"populations": [{"name": "a", "channels": 1}]})
+        with pytest.raises(
+            ScenarioFileError, match="missing required key 'populations'"
+        ):
+            scenario_from_mapping({"name": "x"})
+        with pytest.raises(
+            ScenarioFileError, match=r"populations\[0\].*'channels'"
+        ):
+            scenario_from_mapping(
+                {"name": "x", "populations": [{"name": "a"}]}
+            )
+
+    def test_unknown_config_name(self):
+        raw = _mapping()
+        raw["populations"][0]["config"] = "ddr9"
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"populations\[0\]\.config: unknown memory config 'ddr9'",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_duplicate_slice_names_rejected(self):
+        raw = _mapping()
+        raw["populations"][1]["name"] = raw["populations"][0]["name"]
+        with pytest.raises(ScenarioFileError, match="unique"):
+            scenario_from_mapping(raw)
+
+    def test_empty_populations_rejected(self):
+        raw = _mapping()
+        raw["populations"] = []
+        with pytest.raises(
+            ScenarioFileError, match="at least one sub-population"
+        ):
+            scenario_from_mapping(raw)
+
+    def test_policies_must_be_strings(self):
+        raw = _mapping()
+        raw["policies"] = ["arcc", 3]
+        with pytest.raises(
+            ScenarioFileError, match=r"policies\[1\]: expected str"
+        ):
+            scenario_from_mapping(raw)
+
+
+class TestCLI:
+    def test_scenario_file_end_to_end(self, tiny_toml, capsys):
+        from repro.cli import main
+
+        assert main(["fleet", "--scenario-file", str(tiny_toml)]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet scenario 'tiny'" in out
+        assert "fresh" in out and "legacy" in out
+        # The file's channels=400 default rescales the 400-channel fleet.
+        assert "400 channels" in out
+
+    def test_scenario_file_with_policies_flag(self, tiny_toml, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "fleet",
+                "--scenario-file",
+                str(tiny_toml),
+                "--policies",
+                "arcc,lotecc",
+                "--channels",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Policy comparison 'tiny'" in out
+        assert "Fleet decision table" in out
+        assert "±" in out
+        assert "policies arcc,lotecc" in out
+
+    def test_cli_flag_overrides_file_seed(self, tiny_toml, capsys):
+        from repro.cli import main
+
+        main(["fleet", "--scenario-file", str(tiny_toml), "--seed", "123"])
+        first = capsys.readouterr().out
+        main(["fleet", "--scenario-file", str(tiny_toml)])
+        second = capsys.readouterr().out
+
+        def table_lines(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "±" in line
+            ]
+
+        assert table_lines(first) != table_lines(second)
+
+    def test_file_defaults_do_not_leak_onto_builtins(self, tiny_toml, capsys):
+        """A built-in named alongside --scenario-file keeps its own
+        channel count and seed; the file's defaults only cover its own
+        scenario."""
+        from repro.cli import main
+
+        main(["fleet", "steady", "--scenario-file", str(tiny_toml)])
+        combined = capsys.readouterr().out
+        main(["fleet", "steady"])
+        alone = capsys.readouterr().out
+
+        def steady_lines(text):
+            return [
+                line
+                for line in text.splitlines()
+                if line.startswith(("Fleet scenario 'steady'", "arcc-1x"))
+            ]
+
+        assert steady_lines(combined) == steady_lines(alone)
+        # 20000 built-in channels + the file's 400.
+        assert "2 scenario(s), 20400 channels" in combined
+
+    def test_bad_file_is_a_clean_error(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bad.toml"
+        path.write_text('name = "x"\n')
+        with pytest.raises(SystemExit, match="missing required key"):
+            main(["fleet", "--scenario-file", str(path)])
