@@ -7,7 +7,9 @@ Subcommands (one per reproducible artifact; see ``docs/user-guide.md``)::
     python -m repro fig6.1 [--mc-channels N] [--jobs J]
     python -m repro fig7.1 [--instructions N] [--mixes K] [--jobs J]
     python -m repro fig7.2 [--instructions N] [--mixes K] [--jobs J]
-    python -m repro fig7.4 [--channels N] [--jobs J]
+    python -m repro sensitivity [--instructions N] [--mixes K]
+                          [--fractions F1,F2,...] [--jobs J]
+    python -m repro fig7.4 [--channels N] [--measured] [--jobs J]
     python -m repro fig7.6 [--channels N] [--jobs J]
     python -m repro fleet [scenario ...] [--scenario-file PATH]
                           [--policies P1,P2,...] [--channels N]
@@ -25,6 +27,18 @@ keys include every table/figure above plus ``fleet`` (exposure sweep)
 and ``fleet-compare`` (the policy comparison at default scale).
 ``--jobs 1`` and ``--jobs N`` print identical tables — every job owns
 an explicit RNG seed.
+
+The trace-simulation artifacts (``fig7.1``, ``fig7.2``,
+``sensitivity``) run on the batched engine of :mod:`repro.perf.engine`:
+each mix's trace is materialized once per worker and every
+(organization, upgraded-fraction) point replays it, bit-identical to
+the legacy per-access simulator at a fraction of the cost.
+``sensitivity`` sweeps the *measured* upgraded-fraction response
+(``--fractions``) next to the worst-case estimates; ``fig7.4
+--measured`` feeds Figures 7.4/7.5 with freshly measured Figure 7.2/7.3
+overheads instead of the recorded constants. Identical points are
+simulated once and shared across figures — both inside one ``repro
+run`` batch and through the result cache.
 
 ``fleet`` sweeps datacenter-fleet lifetime scenarios (heterogeneous
 DIMM generations, harsh environments, burn-in schedules) through the
@@ -55,6 +69,7 @@ from repro.experiments import (
     run_fig7_2_7_3,
     run_fig7_4_7_5,
     run_fig7_6,
+    run_sweep_upgraded_fraction_measured,
 )
 from repro.runner import DEFAULT_CACHE_DIR, ResultCache, execute_plans
 from repro.workloads.spec import ALL_MIXES
@@ -107,8 +122,38 @@ def _cmd_fig7_2(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_sensitivity(args: argparse.Namespace) -> None:
+    kwargs = {}
+    if args.fractions:
+        try:
+            kwargs["fractions"] = tuple(
+                float(f) for f in args.fractions.split(",") if f.strip()
+            )
+        except ValueError as exc:
+            raise SystemExit(
+                f"repro sensitivity: --fractions must be a comma-separated "
+                f"list of numbers ({exc})"
+            ) from exc
+    try:
+        sweep = run_sweep_upgraded_fraction_measured(
+            mixes=ALL_MIXES[: args.mixes],
+            instructions_per_core=args.instructions,
+            jobs=args.jobs,
+            **kwargs,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro sensitivity: {exc}") from exc
+    print(sweep.to_table())
+
+
 def _cmd_fig7_4(args: argparse.Namespace) -> None:
-    print(run_fig7_4_7_5(channels=args.channels, jobs=args.jobs).to_table())
+    print(
+        run_fig7_4_7_5(
+            channels=args.channels,
+            jobs=args.jobs,
+            measured=args.measured,
+        ).to_table()
+    )
 
 
 def _cmd_fig7_6(args: argparse.Namespace) -> None:
@@ -343,8 +388,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig7_2)
 
+    p = sub.add_parser(
+        "sensitivity", help="measured upgraded-fraction sweep"
+    )
+    p.add_argument("--instructions", type=int, default=40_000)
+    p.add_argument("--mixes", type=int, default=12)
+    p.add_argument(
+        "--fractions",
+        default=None,
+        metavar="F1,F2,...",
+        help="upgraded fractions to sweep (must include 0.0)",
+    )
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_sensitivity)
+
     p = sub.add_parser("fig7.4", help="lifetime overheads")
     p.add_argument("--channels", type=int, default=2000)
+    p.add_argument(
+        "--measured",
+        action="store_true",
+        help="measure per-fault overheads via fig7.2/7.3 first",
+    )
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fig7_4)
 

@@ -11,14 +11,14 @@ comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro.config import MemoryConfig
 from repro.dram.addressing import AddressMapping, MappingPolicy
 from repro.dram.channel import Channel
 from repro.dram.command import MemoryRequest
 from repro.dram.controller import ControllerStats, MemoryController
-from repro.dram.power import RankPowerModel
+from repro.dram.power import PowerCounters, RankPowerModel
 from repro.dram.timing import power_params_for_width, timings_for_width
 
 
@@ -36,6 +36,44 @@ class PowerReport:
         if other.total_w <= 0:
             raise ValueError("cannot normalize to zero power")
         return self.total_w / other.total_w
+
+
+def power_report_from_counters(
+    model: RankPowerModel,
+    rank_counters: Sequence[PowerCounters],
+    end_ns: float,
+) -> PowerReport:
+    """Roll finalized per-rank counters up into a :class:`PowerReport`.
+
+    Shared by :meth:`MemorySystem.power_report` and the batched engine
+    (:mod:`repro.perf.engine`), which reconstructs the same counters from
+    flat accumulators — one arithmetic path, so both report identical
+    floats for identical counters. ``rank_counters`` must already be
+    finalized (trailing power-down accounted, ``elapsed_ns`` set) and
+    ordered channel-major, rank-minor.
+    """
+    if end_ns <= 0:
+        raise ValueError("measurement window must be positive")
+    dm = model.device_model
+    per_rank = []
+    background = 0.0
+    dynamic = 0.0
+    for counters in rank_counters:
+        rank_w = model.average_power_w(counters)
+        per_rank.append(rank_w)
+        bg_nj = (
+            counters.active_ns * dm.active_standby_w
+            + counters.standby_ns * dm.precharge_standby_w
+            + counters.powerdown_ns * dm.powerdown_w
+        )
+        background += bg_nj / end_ns * model.devices
+        dynamic += rank_w - bg_nj / end_ns * model.devices
+    return PowerReport(
+        total_w=sum(per_rank),
+        background_w=background,
+        dynamic_w=dynamic,
+        per_rank_w=per_rank,
+    )
 
 
 class MemorySystem:
@@ -85,27 +123,13 @@ class MemorySystem:
         """Average power over [0, end_ns], split background vs dynamic."""
         if end_ns <= 0:
             raise ValueError("measurement window must be positive")
-        model = self.rank_power_model
-        dm = model.device_model
-        per_rank = []
-        background = 0.0
-        dynamic = 0.0
-        for channel in self.channels:
-            for counters in channel.finalize(end_ns):
-                rank_w = model.average_power_w(counters)
-                per_rank.append(rank_w)
-                bg_nj = (
-                    counters.active_ns * dm.active_standby_w
-                    + counters.standby_ns * dm.precharge_standby_w
-                    + counters.powerdown_ns * dm.powerdown_w
-                )
-                background += bg_nj / end_ns * model.devices
-                dynamic += rank_w - bg_nj / end_ns * model.devices
-        return PowerReport(
-            total_w=sum(per_rank),
-            background_w=background,
-            dynamic_w=dynamic,
-            per_rank_w=per_rank,
+        rank_counters = [
+            counters
+            for channel in self.channels
+            for counters in channel.finalize(end_ns)
+        ]
+        return power_report_from_counters(
+            self.rank_power_model, rank_counters, end_ns
         )
 
     def access_energy_nj(self, is_write: bool, upgraded: bool = False) -> float:

@@ -23,6 +23,11 @@ from repro.experiments.fig7_4_7_5 import (
     run_fig7_4_7_5,
 )
 from repro.experiments.fig7_6 import Fig76Result, plan_fig7_6, run_fig7_6
+from repro.experiments.sensitivity import (
+    MeasuredFractionSweep,
+    plan_sweep_upgraded_fraction_measured,
+    run_sweep_upgraded_fraction_measured,
+)
 from repro.experiments.tables import (
     render_table_7_1,
     render_table_7_2,
@@ -37,12 +42,14 @@ __all__ = [
     "Fig71Result",
     "Fig76Result",
     "LifetimeOverheadResult",
+    "MeasuredFractionSweep",
     "plan_fig3_1",
     "plan_fig6_1",
     "plan_fig7_1",
     "plan_fig7_2_7_3",
     "plan_fig7_4_7_5",
     "plan_fig7_6",
+    "plan_sweep_upgraded_fraction_measured",
     "render_table_7_1",
     "render_table_7_2",
     "render_table_7_3",
@@ -53,4 +60,5 @@ __all__ = [
     "run_fig7_2_7_3",
     "run_fig7_4_7_5",
     "run_fig7_6",
+    "run_sweep_upgraded_fraction_measured",
 ]

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG
-from repro.perf.simulator import TraceSimulator
+from repro.perf.engine import simulate_point_job
 from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
 from repro.util.tables import format_table
 from repro.workloads.spec import ALL_MIXES, WorkloadMix
@@ -83,47 +83,51 @@ class Fig71Result:
         )
 
 
-def _mix_job(
-    mix: WorkloadMix, instructions_per_core: int, seed: int
-) -> Fig71Row:
-    """Simulate one mix on both organizations (one runner job)."""
-    baseline = TraceSimulator(BASELINE_MEMORY_CONFIG, seed=seed).run(
-        mix, instructions_per_core=instructions_per_core
-    )
-    arcc = TraceSimulator(ARCC_MEMORY_CONFIG, seed=seed).run(
-        mix, instructions_per_core=instructions_per_core
-    )
-    return Fig71Row(
-        mix_name=mix.name,
-        baseline_power_w=baseline.power.total_w,
-        arcc_power_w=arcc.power.total_w,
-        baseline_performance=baseline.performance,
-        arcc_performance=arcc.performance,
-    )
-
-
 def plan_fig7_1(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     instructions_per_core: int = 40_000,
     seed: int = 0x7ACE,
 ) -> ExperimentPlan:
-    """Figure 7.1 as runner jobs: one job per Table 7.3 mix."""
+    """Figure 7.1 as runner jobs: one per (mix, organization) point.
+
+    Both points of a mix run on the batched engine against one
+    memoized trace; the ARCC point is the same cached simulation as the
+    Figure 7.2/7.3 fault-free baseline and the sensitivity sweep's zero
+    point (the runner dedups identical jobs within a batch and the
+    result cache shares them across figures).
+    """
     mixes = list(mixes) if mixes is not None else list(ALL_MIXES)
+    configs = (BASELINE_MEMORY_CONFIG, ARCC_MEMORY_CONFIG)
     jobs = [
         Job.create(
-            f"fig7.1[{mix.name}]",
-            _mix_job,
+            f"fig7.1[{mix.name}][{config.name}]",
+            simulate_point_job,
             mix=mix,
+            config=config,
+            upgraded_fraction=0.0,
             instructions_per_core=instructions_per_core,
             seed=seed,
         )
         for mix in mixes
+        for config in configs
     ]
-    return ExperimentPlan(
-        name="fig7.1",
-        jobs=jobs,
-        assemble=lambda values: Fig71Result(rows=list(values)),
-    )
+
+    def assemble(values: List[dict]) -> Fig71Result:
+        rows = []
+        for index, mix in enumerate(mixes):
+            baseline, arcc = values[2 * index], values[2 * index + 1]
+            rows.append(
+                Fig71Row(
+                    mix_name=mix.name,
+                    baseline_power_w=baseline["power_w"],
+                    arcc_power_w=arcc["power_w"],
+                    baseline_performance=baseline["performance"],
+                    arcc_performance=arcc["performance"],
+                )
+            )
+        return Fig71Result(rows=rows)
+
+    return ExperimentPlan(name="fig7.1", jobs=jobs, assemble=assemble)
 
 
 def run_fig7_1(

@@ -52,12 +52,22 @@ def measured_overheads(
     instructions_per_core: int = 40_000,
     mixes=None,
     jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
 ) -> Dict[FaultType, Tuple[float, float]]:
-    """Measure (power, performance) ratios per fault type via Fig 7.2/7.3."""
+    """Measure (power, performance) ratios per fault type via Fig 7.2/7.3.
+
+    On the batched engine this is cheap enough to run at full 12-mix
+    scale before a Figure 7.4/7.5 sweep (``repro fig7.4 --measured``);
+    with a ``cache`` the underlying per-(mix, point) jobs are shared
+    with Figures 7.1-7.3 and the sensitivity sweep.
+    """
     from repro.experiments.fig7_2_7_3 import run_fig7_2_7_3
 
     result = run_fig7_2_7_3(
-        mixes=mixes, instructions_per_core=instructions_per_core, jobs=jobs
+        mixes=mixes,
+        instructions_per_core=instructions_per_core,
+        jobs=jobs,
+        cache=cache,
     )
     return {
         ft: (
@@ -284,13 +294,24 @@ def run_fig7_4_7_5(
     seed: int = 0xFA117,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    measured: bool = False,
+    measured_instructions_per_core: int = 40_000,
 ) -> LifetimeOverheadResult:
     """Regenerate Figures 7.4 and 7.5.
 
     ``overheads`` maps fault type -> (power ratio, perf ratio); pass the
     output of :func:`measured_overheads` for a fully-measured run, or let
     the fallback constants (recorded from the default-scale run) be used.
+    ``measured=True`` runs the full Figure 7.2/7.3 sweep first (batched
+    engine, same ``jobs``/``cache``) and feeds those freshly measured
+    overheads in — the fully end-to-end Section 7.1 methodology.
     """
+    if measured and overheads is None:
+        overheads = measured_overheads(
+            instructions_per_core=measured_instructions_per_core,
+            jobs=jobs,
+            cache=cache,
+        )
     return execute_plan(
         plan_fig7_4_7_5(
             years=years,

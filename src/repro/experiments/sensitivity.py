@@ -9,15 +9,31 @@ feature on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ARCC_MEMORY_CONFIG, MemoryConfig, ScrubConfig
 from repro.core.scrubber import scrub_bandwidth_overhead
 from repro.faults.models import upgraded_page_fraction
 from repro.faults.types import FaultType
+from repro.perf.engine import simulate_point_job
 from repro.reliability.analytical import ReliabilityParams, sdc_rate_arcc_ded
+from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
 from repro.util.tables import format_table
 from repro.util.units import GB, KB
+from repro.workloads.spec import ALL_MIXES, WorkloadMix
+
+#: Default measured-sweep grid: the Table 7.4 fractions (so those points
+#: are shared with the Figure 7.2/7.3 cache) plus midpoints that chart
+#: the curve between them.
+DEFAULT_MEASURED_FRACTIONS: Tuple[float, ...] = (
+    0.0,
+    0.03125,
+    0.0625,
+    0.125,
+    0.25,
+    0.5,
+    1.0,
+)
 
 
 @dataclass
@@ -186,4 +202,151 @@ def sweep_upgraded_fraction(
             )
             for frac in fractions
         }
+    )
+
+
+# -- measured upgraded-fraction response (batched-engine sweep) ----------------
+
+
+@dataclass
+class MeasuredFractionSweep:
+    """Simulated power/performance response to the upgraded fraction.
+
+    Where :class:`UpgradedFractionCurve` charts the closed-form worst
+    case, this is the *measured* curve: every (mix, fraction) point is
+    a full trace simulation on the batched engine, normalized to the
+    mix's fault-free run. The spread between the two is the paper's
+    locality argument — real workloads reuse the second sub-line, so
+    measured overheads sit well under ``1 + fraction``.
+    """
+
+    fractions: Tuple[float, ...]
+    #: (mix name, fraction) -> (power ratio, performance ratio)
+    ratios: Dict[Tuple[str, float], Tuple[float, float]]
+
+    def mixes(self) -> List[str]:
+        """Mix names present, in run order."""
+        seen: List[str] = []
+        for mix_name, _ in self.ratios:
+            if mix_name not in seen:
+                seen.append(mix_name)
+        return seen
+
+    def average_power_ratio(self, fraction: float) -> float:
+        """Mean measured power ratio at one fraction across mixes."""
+        values = [
+            v for (_, f), (v, _) in self.ratios.items() if f == fraction
+        ]
+        return sum(values) / len(values)
+
+    def average_performance_ratio(self, fraction: float) -> float:
+        """Mean measured performance ratio at one fraction."""
+        values = [
+            v for (_, f), (_, v) in self.ratios.items() if f == fraction
+        ]
+        return sum(values) / len(values)
+
+    def headroom_vs_worst_case(self, fraction: float) -> float:
+        """How far the measured average power sits under ``1 + f``."""
+        from repro.perf.simulator import worst_case_power_ratio
+
+        return worst_case_power_ratio(fraction) - self.average_power_ratio(
+            fraction
+        )
+
+    def to_table(self) -> str:
+        """Render the measured curve next to the worst case."""
+        from repro.perf.simulator import (
+            worst_case_performance_ratio,
+            worst_case_power_ratio,
+        )
+
+        headers = ["Fraction", "Power (avg)", "Power (worst)", "Perf (avg)", "Perf (worst)"]
+        rows = [
+            [
+                f"{fraction:.5g}",
+                f"{self.average_power_ratio(fraction):.3f}",
+                f"{worst_case_power_ratio(fraction):.3f}",
+                f"{self.average_performance_ratio(fraction):.3f}",
+                f"{worst_case_performance_ratio(fraction):.3f}",
+            ]
+            for fraction in self.fractions
+        ]
+        return format_table(
+            headers,
+            rows,
+            title="Sensitivity: upgraded fraction (measured vs worst case)",
+        )
+
+
+def plan_sweep_upgraded_fraction_measured(
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    fractions: Sequence[float] = DEFAULT_MEASURED_FRACTIONS,
+    instructions_per_core: int = 40_000,
+    seed: int = 0x7ACE,
+) -> ExperimentPlan:
+    """The measured fraction sweep as runner jobs: one per (mix, point).
+
+    All of a mix's points replay the same memoized trace, and the
+    fractions shared with Table 7.4 (and the fault-free zero point) are
+    the *same cached jobs* as Figures 7.1/7.2/7.3's.
+    """
+    mixes = list(mixes) if mixes is not None else list(ALL_MIXES)
+    fractions = tuple(fractions)
+    if 0.0 not in fractions:
+        raise ValueError("the sweep needs the fault-free 0.0 point")
+    out_of_range = [f for f in fractions if not 0.0 <= f <= 1.0]
+    if out_of_range:
+        raise ValueError(
+            f"upgraded fractions must be in [0, 1], got {out_of_range}"
+        )
+    jobs = [
+        Job.create(
+            f"sensitivity[{mix.name}][{fraction:g}]",
+            simulate_point_job,
+            mix=mix,
+            config=ARCC_MEMORY_CONFIG,
+            upgraded_fraction=fraction,
+            instructions_per_core=instructions_per_core,
+            seed=seed,
+        )
+        for mix in mixes
+        for fraction in fractions
+    ]
+
+    def assemble(values: List[dict]) -> MeasuredFractionSweep:
+        ratios: Dict[Tuple[str, float], Tuple[float, float]] = {}
+        stride = len(fractions)
+        zero = fractions.index(0.0)
+        for index, mix in enumerate(mixes):
+            base = values[index * stride + zero]
+            for offset, fraction in enumerate(fractions):
+                point = values[index * stride + offset]
+                ratios[(mix.name, fraction)] = (
+                    point["power_w"] / base["power_w"],
+                    point["performance"] / base["performance"],
+                )
+        return MeasuredFractionSweep(fractions=fractions, ratios=ratios)
+
+    return ExperimentPlan(name="sensitivity", jobs=jobs, assemble=assemble)
+
+
+def run_sweep_upgraded_fraction_measured(
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    fractions: Sequence[float] = DEFAULT_MEASURED_FRACTIONS,
+    instructions_per_core: int = 40_000,
+    seed: int = 0x7ACE,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> MeasuredFractionSweep:
+    """Run the measured upgraded-fraction sweep."""
+    return execute_plan(
+        plan_sweep_upgraded_fraction_measured(
+            mixes=mixes,
+            fractions=fractions,
+            instructions_per_core=instructions_per_core,
+            seed=seed,
+        ),
+        max_workers=jobs,
+        cache=cache,
     )

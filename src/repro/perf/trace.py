@@ -1,0 +1,289 @@
+"""Struct-of-arrays materialization of workload-mix traces.
+
+The legacy simulator regenerates its four :class:`~repro.workloads.trace.
+CoreTrace` streams from scratch on every run, three scalar RNG draws per
+access — so a Figure 7.2/7.3 sweep pays the trace-generation tax once per
+(mix, fault type) point even though every point replays the *same*
+accesses. :class:`TraceBatch` materializes a mix's streams exactly once
+into parallel NumPy arrays (line addresses, write flags, instruction
+gaps, plus a per-core offset index — the perf analogue of
+:class:`repro.fleet.events.FaultEventBatch`), and the batched engine in
+:mod:`repro.perf.engine` replays any number of ``upgraded_fraction`` /
+organization points against it.
+
+Materialization steps the real ``CoreTrace`` iterators, so the arrays
+hold bit-for-bit the accesses ``TraceSimulator.run`` would have consumed:
+each core's stream is drawn from its own ``split_rng`` child, which makes
+the per-core access sequence independent of how the cores interleave.
+A core consumes accesses until its retired-instruction total reaches
+``instructions_per_core`` — the exact stopping rule of the legacy loop —
+so equal parameters always yield equal array contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.workloads.spec import BenchmarkProfile, WorkloadMix
+from repro.workloads.trace import TraceGenerator
+
+
+@dataclass(frozen=True, eq=False)
+class TraceBatch:
+    """One mix's materialized access streams as parallel arrays.
+
+    Identity-compared and identity-hashed (``eq=False``): batches come
+    out of the :func:`materialize_mix` memo, so identical parameters
+    already yield the *same object*, and downstream caches (the shared
+    replay arrays in :mod:`repro.perf.engine`) key on that identity.
+
+    Accesses are grouped by core and stream-ordered within each core:
+    ``core_offsets[i]:core_offsets[i+1]`` slices core ``i``'s accesses.
+    The arrays are exactly what the legacy simulator would have drawn
+    from ``TraceGenerator(profiles, seed)`` while retiring
+    ``instructions_per_core`` instructions on every core.
+
+    Examples
+    --------
+    >>> from repro.workloads.spec import mix_by_name
+    >>> batch = materialize_mix(mix_by_name("Mix1"), seed=7,
+    ...                         instructions_per_core=2_000)
+    >>> batch.cores
+    4
+    >>> batch.accesses == len(batch.line_addresses)
+    True
+    >>> bool(batch.instruction_gaps.min() >= 1)
+    True
+    """
+
+    mix_name: str
+    profiles: Tuple[BenchmarkProfile, ...]
+    seed: int
+    instructions_per_core: int
+    line_addresses: np.ndarray  # int64[n], grouped by core
+    write_flags: np.ndarray  # bool[n]
+    instruction_gaps: np.ndarray  # int64[n], instructions since last access
+    core_offsets: np.ndarray  # int64[cores + 1]
+
+    @property
+    def cores(self) -> int:
+        """Number of cores (streams) in the batch."""
+        return len(self.core_offsets) - 1
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses across all cores."""
+        return int(self.core_offsets[-1])
+
+    def core_slice(self, core: int) -> slice:
+        """Array slice holding ``core``'s accesses."""
+        return slice(
+            int(self.core_offsets[core]), int(self.core_offsets[core + 1])
+        )
+
+    def gap_cycles(self) -> np.ndarray:
+        """Per-access compute cycles (``gap / base_ipc``), float64.
+
+        Element-for-element the value the legacy loop adds to a core's
+        cycle count before each access (IEEE division of the same
+        operands, so bit-identical).
+        """
+        out = np.empty(self.accesses, dtype=np.float64)
+        for core, profile in enumerate(self.profiles):
+            view = self.core_slice(core)
+            out[view] = (
+                self.instruction_gaps[view].astype(np.float64)
+                / profile.base_ipc
+            )
+        return out
+
+
+#: ``next_uint64 >> 11`` scaled by 2**-53 is NumPy's canonical
+#: uint64-to-double conversion (``random_standard_uniform``).
+_INV_2_53 = 1.0 / 9007199254740992.0
+_U32_MASK = 0xFFFFFFFF
+
+
+@lru_cache(maxsize=1)
+def _raw_stream_supported() -> bool:
+    """Whether raw bit-generator draws reproduce the Generator methods.
+
+    The fast materialization path re-implements the three scalar draws
+    ``CoreTrace`` makes — ``random()`` (one ``next_uint64`` to a
+    double), ``integers(n)`` (Lemire's bounded rejection on buffered
+    32-bit half-words) and ``exponential(scale)`` (``scale *
+    standard_exponential()``) — directly against the PCG64 bit stream
+    through the ctypes interface. Those identities follow NumPy's
+    published implementation, but they are *verified here at runtime*
+    on a probe stream; any NumPy that draws differently flunks the
+    probe and silently falls back to the plain scalar calls.
+    """
+    try:
+        reference = make_rng(0xBEEF)
+        mirror = make_rng(0xBEEF)
+        ctypes_view = mirror.bit_generator.ctypes
+        next_u64 = ctypes_view.next_uint64
+        next_u32 = ctypes_view.next_uint32
+        state = ctypes_view.state_address
+        std_exp = mirror.standard_exponential
+        for step in range(400):
+            kind = step % 4
+            if kind in (0, 2):
+                if reference.random() != (next_u64(state) >> 11) * _INV_2_53:
+                    return False
+            elif kind == 1:
+                n = (32768, 1000, 7, 1 << 22)[(step // 4) % 4]
+                m = next_u32(state) * n
+                leftover = m & _U32_MASK
+                if leftover < n:
+                    threshold = (4294967296 - n) % n
+                    while leftover < threshold:
+                        m = next_u32(state) * n
+                        leftover = m & _U32_MASK
+                if int(reference.integers(n)) != m >> 32:
+                    return False
+            else:
+                if reference.exponential(66.75) != std_exp() * 66.75:
+                    return False
+        return True
+    except Exception:
+        return False
+
+
+def _materialize_core(trace, instructions_per_core, out):
+    """Append one core's exact access stream to ``out``; returns count.
+
+    ``CoreTrace.__next__`` inlined — same RNG draws against the same
+    generator state in the same order, minus the iterator dispatch and
+    per-access dataclass. When the runtime probe above holds (it does
+    on every NumPy this repo supports), the draws go straight to the
+    PCG64 bit stream, which roughly halves materialization cost; the
+    access-for-access agreement with ``CoreTrace`` is pinned by
+    ``tests/test_perf_engine.py``.
+    """
+    addresses, writes, gaps = out
+    append_address = addresses.append
+    append_write = writes.append
+    append_gap = gaps.append
+    profile = trace.profile
+    locality = profile.spatial_locality
+    read_fraction = profile.read_fraction
+    base = trace.region_base
+    footprint = trace.footprint_lines
+    end = base + footprint
+    mean_gap = trace._gap_instructions
+    current = trace._current
+    rng = trace.rng
+    total = 0
+    count = 0
+    if _raw_stream_supported() and 0 < footprint <= _U32_MASK:
+        ctypes_view = rng.bit_generator.ctypes
+        next_u64 = ctypes_view.next_uint64
+        next_u32 = ctypes_view.next_uint32
+        state = ctypes_view.state_address
+        std_exp = rng.standard_exponential
+        inv = _INV_2_53
+        u32_mask = _U32_MASK
+        while total < instructions_per_core:
+            if (next_u64(state) >> 11) * inv < locality:
+                line = current + 1
+                if line >= end:
+                    line = base
+            else:
+                m = next_u32(state) * footprint
+                leftover = m & u32_mask
+                if leftover < footprint:
+                    threshold = (4294967296 - footprint) % footprint
+                    while leftover < threshold:
+                        m = next_u32(state) * footprint
+                        leftover = m & u32_mask
+                line = base + (m >> 32)
+            current = line
+            gap = 1 + int(std_exp() * mean_gap)
+            append_address(line)
+            append_write((next_u64(state) >> 11) * inv >= read_fraction)
+            append_gap(gap)
+            total += gap
+            count += 1
+    else:  # pragma: no cover - exercised only on unprobed NumPy builds
+        random = rng.random
+        integers = rng.integers
+        exponential = rng.exponential
+        while total < instructions_per_core:
+            if random() < locality:
+                line = current + 1
+                if line >= end:
+                    line = base
+            else:
+                line = base + int(integers(footprint))
+            current = line
+            gap = 1 + int(exponential(mean_gap))
+            append_address(line)
+            append_write(random() >= read_fraction)
+            append_gap(gap)
+            total += gap
+            count += 1
+    return count
+
+
+@lru_cache(maxsize=64)
+def _materialize(
+    mix_name: str,
+    profiles: Tuple[BenchmarkProfile, ...],
+    seed: int,
+    instructions_per_core: int,
+) -> TraceBatch:
+    """Memoized worker behind :func:`materialize_mix`."""
+    traces = TraceGenerator(profiles, seed=seed).core_traces()
+    addresses = []
+    writes = []
+    gaps = []
+    offsets = [0]
+    for trace in traces:
+        count = _materialize_core(
+            trace, instructions_per_core, (addresses, writes, gaps)
+        )
+        offsets.append(offsets[-1] + count)
+    return TraceBatch(
+        mix_name=mix_name,
+        profiles=tuple(profiles),
+        seed=seed,
+        instructions_per_core=instructions_per_core,
+        line_addresses=np.asarray(addresses, dtype=np.int64),
+        write_flags=np.asarray(writes, dtype=bool),
+        instruction_gaps=np.asarray(gaps, dtype=np.int64),
+        core_offsets=np.asarray(offsets, dtype=np.int64),
+    )
+
+
+def materialize_mix(
+    mix: WorkloadMix, seed: int, instructions_per_core: int
+) -> TraceBatch:
+    """Materialize (or fetch the memoized copy of) one mix's streams.
+
+    Memoized per process, so a sweep of many ``upgraded_fraction`` or
+    organization points — or many runner jobs landing in the same worker
+    — generates each trace once. The memo is keyed on the *profiles*,
+    not just the mix name, so custom mixes never alias.
+
+    Examples
+    --------
+    >>> from repro.workloads.spec import mix_by_name
+    >>> a = materialize_mix(mix_by_name("Mix2"), 3, 1_000)
+    >>> b = materialize_mix(mix_by_name("Mix2"), 3, 1_000)
+    >>> a is b  # memoized: the arrays are generated once
+    True
+    """
+    return _materialize(
+        mix.name, tuple(mix.profiles), seed, instructions_per_core
+    )
+
+
+def clear_trace_memo() -> None:
+    """Drop memoized batches (benchmarks use this to time cold runs)."""
+    _materialize.cache_clear()

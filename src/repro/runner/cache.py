@@ -56,9 +56,18 @@ class ResultCache:
         self.version = version or code_version()
 
     def key(self, job: Job) -> str:
-        """Cache key of one job (config hash x code version)."""
+        """Cache key of one job (config hash x code version).
+
+        The job's display *name* is excluded: two jobs with the same
+        callable, configuration and seed compute the same value, so
+        identical simulation points are shared across figures (e.g.
+        Figure 7.1's fault-free ARCC run, the Figure 7.2/7.3 baseline
+        and the sensitivity sweep's zero point are one cache entry).
+        """
+        description = job.describe()
+        description.pop("name", None)
         payload = json.dumps(
-            {"code": self.version, "job": job.describe()},
+            {"code": self.version, "job": description},
             sort_keys=True,
             default=repr,
         )

@@ -3,21 +3,39 @@
 ``run_jobs`` is the single entry point. Results are returned in job
 order no matter how execution interleaves, every job carries its own
 explicit seed (``base_seed`` fills in missing ones deterministically via
-:func:`repro.util.rng.derive_seeds`), and a :class:`ResultCache` short-
-circuits work that has already been done by a previous run — together
-these make ``--jobs 1`` and ``--jobs N`` produce identical outputs.
+:func:`repro.util.rng.derive_seeds`), a :class:`ResultCache` short-
+circuits work that has already been done by a previous run, and jobs
+whose computation is identical (same callable, config and seed — names
+aside) run once per batch and share the value — together these make
+``--jobs 1`` and ``--jobs N`` produce identical outputs while never
+simulating the same point twice.
 """
 
 from __future__ import annotations
 
 import inspect
+import json
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.cache import ResultCache
 from repro.runner.job import ExperimentPlan, Job, JobResult
 from repro.util.rng import derive_seeds
+
+
+def _job_identity(job: Job) -> str:
+    """Canonical identity of a job's *computation* (name excluded).
+
+    Two jobs with the same callable, configuration and seed compute the
+    same value no matter what their display names are, so the executor
+    runs one and shares the result — e.g. when ``repro run`` flattens
+    Figure 7.1, Figures 7.2/7.3 and the sensitivity sweep into one
+    batch, each (mix, organization, fraction) simulation runs once.
+    """
+    description = job.describe()
+    description.pop("name", None)
+    return json.dumps(description, sort_keys=True, default=repr)
 
 
 def _call_job(job: Job) -> Tuple[Any, float]:
@@ -73,14 +91,21 @@ def run_jobs(
     jobs = _with_seeds(jobs, base_seed)
     results: List[Optional[JobResult]] = [None] * len(jobs)
 
-    pending: List[int] = []
+    pending: List[int] = []  # unique computations to run, first index wins
+    duplicates: Dict[int, int] = {}  # duplicate index -> representative
+    first_by_identity: Dict[str, int] = {}
     for index, job in enumerate(jobs):
         if cache is not None:
             hit, value = cache.get(job)
             if hit:
                 results[index] = JobResult(job.name, value, cached=True)
                 continue
-        pending.append(index)
+        identity = _job_identity(job)
+        representative = first_by_identity.setdefault(identity, index)
+        if representative != index:
+            duplicates[index] = representative
+        else:
+            pending.append(index)
 
     if max_workers <= 1 or len(pending) <= 1:
         for index in pending:
@@ -97,6 +122,12 @@ def run_jobs(
                 value, seconds = future.result()
                 results[index] = JobResult(jobs[index].name, value, seconds)
 
+    for index, representative in duplicates.items():
+        shared = results[representative]
+        assert shared is not None
+        results[index] = JobResult(
+            jobs[index].name, shared.value, cached=True
+        )
     if cache is not None:
         for index in pending:
             cache.put(jobs[index], results[index].value)

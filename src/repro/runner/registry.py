@@ -18,6 +18,7 @@ from repro.experiments import (
     plan_fig7_2_7_3,
     plan_fig7_4_7_5,
     plan_fig7_6,
+    plan_sweep_upgraded_fraction_measured,
     render_table_7_1,
     render_table_7_2,
     render_table_7_3,
@@ -83,11 +84,17 @@ FIGURES: Dict[str, FigureSpec] = {
             defaults={"monte_carlo_channels": 20_000},
             quick={"monte_carlo_channels": 0},
         ),
+        # The batched trace engine (repro.perf.engine) runs all three
+        # trace-simulation sweeps below at 200k instructions per core x
+        # all 12 mixes — 5x the pre-batched default, a step toward the
+        # paper's trace lengths — in a few seconds single-core. Their
+        # per-(mix, point) jobs dedup across figures: the fault-free
+        # ARCC point is one simulation shared by all three.
         FigureSpec(
             "fig7.1",
             "Figure 7.1: fault-free power/performance",
             plan_fig7_1,
-            defaults={"instructions_per_core": 40_000},
+            defaults={"instructions_per_core": 200_000},
             quick={
                 "mixes": ALL_MIXES[:4],
                 "instructions_per_core": 20_000,
@@ -97,12 +104,20 @@ FIGURES: Dict[str, FigureSpec] = {
             "fig7.2",
             "Figures 7.2/7.3: power/performance with faults",
             plan_fig7_2_7_3,
-            defaults={
-                "mixes": ALL_MIXES[:3],
-                "instructions_per_core": 40_000,
-            },
+            defaults={"instructions_per_core": 200_000},
             quick={
                 "mixes": ALL_MIXES[:3],
+                "instructions_per_core": 20_000,
+            },
+        ),
+        FigureSpec(
+            "sensitivity",
+            "Sensitivity: measured upgraded-fraction sweep",
+            plan_sweep_upgraded_fraction_measured,
+            defaults={"instructions_per_core": 200_000},
+            quick={
+                "mixes": ALL_MIXES[:3],
+                "fractions": (0.0, 0.0625, 0.5, 1.0),
                 "instructions_per_core": 20_000,
             },
         ),

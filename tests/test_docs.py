@@ -34,6 +34,8 @@ DOCTEST_MODULES = (
     "repro.fleet.report",
     "repro.fleet.policies",
     "repro.fleet.scenario_file",
+    "repro.perf.trace",
+    "repro.perf.engine",
     "repro.runner.job",
 )
 
@@ -93,11 +95,16 @@ class TestDoctests:
         import repro.fleet.scenarios as scenarios
         import repro.runner.job as job
 
+        import repro.perf.engine as perf_engine
+        import repro.perf.trace as perf_trace
+
         finder = doctest.DocTestFinder()
         for module, names in (
             (scenarios, ("SubPopulation", "FleetScenario")),
             (report, ("plan_fleet", "run_fleet")),
             (job, ("Job", "ExperimentPlan")),
+            (perf_trace, ("TraceBatch", "materialize_mix")),
+            (perf_engine, ("upgraded_page_flags",)),
         ):
             found = {
                 test.name.split(".")[-1]

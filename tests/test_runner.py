@@ -198,3 +198,40 @@ class TestRegistry:
 
         with pytest.raises(KeyError):
             build_plans(["fig9.9"])
+
+
+class TestJobDeduplication:
+    """Identical computations run once per batch, whatever their names."""
+
+    def test_duplicate_jobs_share_one_execution(self, tmp_path):
+        marker = str(tmp_path / "calls")
+        jobs = [
+            Job.create("a[3]", _record, x=3, path=marker),
+            Job.create("b[3]", _record, x=3, path=marker),  # same computation
+            Job.create("c[4]", _record, x=4, path=marker),
+        ]
+        results = run_jobs(jobs)
+        assert [r.value for r in results] == [3, 3, 4]
+        assert [r.name for r in results] == ["a[3]", "b[3]", "c[4]"]
+        # Only two executions happened; the duplicate reports cached.
+        with open(marker) as handle:
+            assert len(handle.readlines()) == 2
+        assert results[1].cached and not results[0].cached
+
+    def test_dedup_respects_differing_seeds(self, tmp_path):
+        marker = str(tmp_path / "calls")
+        jobs = [
+            Job.create("a", _record, seed=1, x=3, path=marker),
+            Job.create("b", _record, seed=2, x=3, path=marker),
+        ]
+        run_jobs(jobs)
+        with open(marker) as handle:
+            assert len(handle.readlines()) == 2
+
+    def test_pool_dedup_matches_inline(self):
+        jobs = [
+            Job.create(f"dup{i}", _square, x=7) for i in range(6)
+        ] + [Job.create("other", _square, x=2)]
+        inline = [r.value for r in run_jobs(jobs, max_workers=1)]
+        pooled = [r.value for r in run_jobs(jobs, max_workers=4)]
+        assert inline == pooled == [49] * 6 + [4]

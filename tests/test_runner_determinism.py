@@ -13,10 +13,14 @@ from repro.experiments import (
     run_fig3_1,
     run_fig6_1,
     run_fig7_1,
+    run_fig7_2_7_3,
+    run_fig7_4_7_5,
     run_fig7_6,
+    run_sweep_upgraded_fraction_measured,
 )
 from repro.reliability.analytical import ReliabilityParams
 from repro.reliability.montecarlo import BLOCK_CHANNELS, MonteCarloReliability
+from repro.runner import ResultCache
 from repro.workloads.spec import ALL_MIXES
 
 
@@ -83,6 +87,66 @@ class TestFigureParallelism:
         a = run_fig7_6(years=3, channels=60, jobs=1)
         b = run_fig7_6(years=3, channels=60, jobs=4)
         assert a.overhead == b.overhead
+
+    def test_fig7_2_7_3_ratios_identical(self):
+        """Batched-engine per-(mix, point) jobs: jobs=1 == jobs=4."""
+        kwargs = dict(mixes=ALL_MIXES[:3], instructions_per_core=4_000)
+        a = run_fig7_2_7_3(jobs=1, **kwargs)
+        b = run_fig7_2_7_3(jobs=4, **kwargs)
+        assert a.power_ratio == b.power_ratio
+        assert a.performance_ratio == b.performance_ratio
+
+    def test_fig7_4_7_5_series_identical(self):
+        a = run_fig7_4_7_5(years=3, channels=120, jobs=1)
+        b = run_fig7_4_7_5(years=3, channels=120, jobs=4)
+        assert a.power_overhead == b.power_overhead
+        assert a.performance_overhead == b.performance_overhead
+        assert a.power_ci == b.power_ci
+
+    def test_sensitivity_sweep_identical(self):
+        kwargs = dict(
+            mixes=ALL_MIXES[:3],
+            fractions=(0.0, 0.25, 1.0),
+            instructions_per_core=4_000,
+        )
+        a = run_sweep_upgraded_fraction_measured(jobs=1, **kwargs)
+        b = run_sweep_upgraded_fraction_measured(jobs=4, **kwargs)
+        assert a.ratios == b.ratios
+
+
+class TestCacheReproducibility:
+    """A warm cache must replay exactly what the cold run computed."""
+
+    def test_fig7_2_cache_hits_reproduce_cold_run(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        kwargs = dict(mixes=ALL_MIXES[:2], instructions_per_core=4_000)
+        cold = run_fig7_2_7_3(jobs=1, cache=cache, **kwargs)
+        warm = run_fig7_2_7_3(jobs=4, cache=cache, **kwargs)
+        assert cold.power_ratio == warm.power_ratio
+        assert cold.performance_ratio == warm.performance_ratio
+
+    def test_cache_shares_points_across_figures(self, tmp_path):
+        """The fault-free ARCC point is one entry for fig7.1/7.2/sens."""
+        from repro.experiments import plan_fig7_1, plan_fig7_2_7_3
+        from repro.experiments.sensitivity import (
+            plan_sweep_upgraded_fraction_measured,
+        )
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        mixes = ALL_MIXES[:1]
+        fig71 = plan_fig7_1(mixes=mixes, instructions_per_core=4_000)
+        fig72 = plan_fig7_2_7_3(mixes=mixes, instructions_per_core=4_000)
+        sens = plan_sweep_upgraded_fraction_measured(
+            mixes=mixes, fractions=(0.0, 1.0), instructions_per_core=4_000
+        )
+        arcc_point = fig71.jobs[1]  # (Mix1, ARCC, 0.0)
+        baseline_point = fig72.jobs[0]  # fig7.2's fault-free job
+        zero_point = sens.jobs[0]  # sensitivity's 0.0 job
+        assert cache.key(arcc_point) == cache.key(baseline_point)
+        assert cache.key(arcc_point) == cache.key(zero_point)
+        # And the baseline-organization / faulty points do NOT collide.
+        assert cache.key(fig71.jobs[0]) != cache.key(arcc_point)
+        assert cache.key(fig72.jobs[1]) != cache.key(baseline_point)
 
 
 @pytest.mark.slow

@@ -125,3 +125,59 @@ class TestMappingPoliciesDiffer:
             for m in mappings
         ]
         assert len(set(decodes)) == 3
+
+
+class TestMeasuredFractionSweep:
+    """The batched-engine measured upgraded-fraction sweep."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments.sensitivity import (
+            run_sweep_upgraded_fraction_measured,
+        )
+        from repro.workloads.spec import ALL_MIXES
+
+        return run_sweep_upgraded_fraction_measured(
+            mixes=ALL_MIXES[:3],
+            fractions=(0.0, 0.25, 1.0),
+            instructions_per_core=8_000,
+        )
+
+    def test_zero_point_is_unity(self, sweep):
+        for mix in sweep.mixes():
+            assert sweep.ratios[(mix, 0.0)] == (1.0, 1.0)
+
+    def test_power_monotone_in_fraction(self, sweep):
+        """More upgraded pages can only cost more power on average."""
+        averages = [
+            sweep.average_power_ratio(f) for f in sweep.fractions
+        ]
+        assert averages == sorted(averages)
+
+    def test_measured_below_worst_case(self, sweep):
+        """Spatial locality keeps the measured curve under 1 + f."""
+        for fraction in sweep.fractions:
+            assert sweep.headroom_vs_worst_case(fraction) >= -1e-9
+
+    def test_table_renders(self, sweep):
+        table = sweep.to_table()
+        assert "measured vs worst case" in table
+        assert "1.000" in table
+
+    def test_requires_zero_point(self):
+        from repro.experiments.sensitivity import (
+            plan_sweep_upgraded_fraction_measured,
+        )
+
+        with pytest.raises(ValueError):
+            plan_sweep_upgraded_fraction_measured(fractions=(0.5, 1.0))
+
+    def test_plan_shares_table_7_4_points_with_fig7_2(self):
+        """Default grid contains every Table 7.4 fraction (cache reuse)."""
+        from repro.experiments.sensitivity import DEFAULT_MEASURED_FRACTIONS
+        from repro.faults.models import TABLE_7_4_TYPES, upgraded_page_fraction
+
+        for fault_type in TABLE_7_4_TYPES:
+            assert upgraded_page_fraction(fault_type) in (
+                DEFAULT_MEASURED_FRACTIONS
+            )
