@@ -12,8 +12,8 @@ Subcommands (one per reproducible artifact; see ``docs/user-guide.md``)::
     python -m repro fig7.4 [--channels N] [--measured] [--jobs J]
     python -m repro fig7.6 [--channels N] [--jobs J]
     python -m repro fleet [scenario ...] [--scenario-file PATH]
-                          [--policies P1,P2,...] [--channels N]
-                          [--seed S] [--jobs J] [--list]
+                          [--policies P1,P2,...] [--measured]
+                          [--channels N] [--seed S] [--jobs J] [--list]
     python -m repro all [--quick] [--jobs J]
     python -m repro run [figure ...] [--jobs J] [--quick]
                         [--cache-dir D] [--no-cache]
@@ -23,10 +23,11 @@ jobs into one batch, fans them out across ``--jobs`` worker processes,
 and caches completed jobs under ``--cache-dir`` (``--no-cache``
 recomputes) so interrupted or repeated runs only pay for what changed.
 ``--quick`` switches every figure to its reduced smoke scale. Figure
-keys include every table/figure above plus ``fleet`` (exposure sweep)
-and ``fleet-compare`` (the policy comparison at default scale).
-``--jobs 1`` and ``--jobs N`` print identical tables — every job owns
-an explicit RNG seed.
+keys include every table/figure above plus ``fleet`` (exposure sweep),
+``fleet-compare`` (the policy comparison at default scale) and
+``fleet-compare-measured`` (the same comparison priced with measured
+per-fault weights). ``--jobs 1`` and ``--jobs N`` print identical
+tables — every job owns an explicit RNG seed.
 
 The trace-simulation artifacts (``fig7.1``, ``fig7.2``,
 ``sensitivity``) run on the batched engine of :mod:`repro.perf.engine`:
@@ -44,9 +45,14 @@ run`` batch and through the result cache.
 DIMM generations, harsh environments, burn-in schedules) through the
 vectorized :mod:`repro.fleet` engine. ``--list`` describes the
 built-ins; ``--scenario-file`` loads a declarative TOML/JSON scenario
-(schema: ``docs/scenario-files.md``); ``--policies arcc,sccdcd,lotecc``
-turns the sweep into a protection-policy comparison with a TCO-style
-decision table; ``--channels`` rescales whole fleets, so 10^5-10^6
+(schema: ``docs/scenario-files.md``), including custom
+``[organizations.<name>]`` memory-organization tables; ``--policies
+arcc,sccdcd,lotecc`` turns the sweep into a protection-policy
+comparison with a TCO-style decision table; ``--measured`` replaces the
+worst-case per-fault constants with weights measured by the batched
+trace engine against each slice's own organization (the perf -> fleet
+bridge of :mod:`repro.fleet.measured`, cache-shared with ``fig7.4
+--measured``); ``--channels`` rescales whole fleets, so 10^5-10^6
 channel populations are practical; ``--seed`` repoints every derived
 RNG stream.
 """
@@ -147,11 +153,16 @@ def _cmd_sensitivity(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig7_4(args: argparse.Namespace) -> None:
+    # --measured runs the fig7.2/7.3 trace sweep first; route it through
+    # the default runner cache so `repro fleet --measured` (and reruns)
+    # reuse the same per-(mix, point) entries.
+    cache = ResultCache() if args.measured else None
     print(
         run_fig7_4_7_5(
             channels=args.channels,
             jobs=args.jobs,
             measured=args.measured,
+            cache=cache,
         ).to_table()
     )
 
@@ -283,27 +294,56 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
     elif file_spec is not None and file_spec.policies:
         policy_keys = list(file_spec.policies)
 
+    if args.measured and not policy_keys:
+        raise SystemExit(
+            "repro fleet: --measured requires --policies (measured weights "
+            "parameterize the policy comparison)"
+        )
+
+    started = time.perf_counter()
     if policy_keys:
         try:
             resolve_policies(policy_keys)
         except (KeyError, ValueError) as exc:
             message = exc.args[0] if exc.args else str(exc)
             raise SystemExit(f"repro fleet: {message}") from exc
+        profiles_by_spec = [None] * len(specs)
+        if args.measured:
+            # The measurement points share the default runner cache with
+            # fig7.1/fig7.2/sensitivity and `fig7.4 --measured`, so one
+            # measurement serves every figure across invocations.
+            from repro.fleet import measure_scenario_profiles
+
+            cache = ResultCache()
+            try:
+                profiles_by_spec = [
+                    measure_scenario_profiles(
+                        scenario,
+                        policies=policy_keys,
+                        jobs=args.jobs,
+                        cache=cache,
+                    )
+                    for scenario, _, _ in specs
+                ]
+            except ValueError as exc:
+                raise SystemExit(f"repro fleet: {exc}") from exc
         plans = [
             plan_fleet_compare(
                 scenario=scenario,
                 policies=policy_keys,
                 channels=channels,
                 seed=seed,
+                profiles=profiles,
             )
-            for scenario, channels, seed in specs
+            for (scenario, channels, seed), profiles in zip(
+                specs, profiles_by_spec
+            )
         ]
     else:
         plans = [
             plan_fleet(scenario=scenario, channels=channels, seed=seed)
             for scenario, channels, seed in specs
         ]
-    started = time.perf_counter()
     reports = execute_plans(plans, max_workers=args.jobs)
     elapsed = time.perf_counter() - started
     for report in reports:
@@ -312,6 +352,8 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
     total_jobs = sum(len(plan.jobs) for plan in plans)
     total_channels = sum(report.total_channels for report in reports)
     mode = f"policies {','.join(policy_keys)}" if policy_keys else "exposure"
+    if args.measured:
+        mode += " (measured weights)"
     print(
         f"[repro fleet] {len(plans)} scenario(s), {total_channels} channels, "
         f"{total_jobs} job(s), {mode}, --jobs {args.jobs}, {elapsed:.1f}s"
@@ -438,6 +480,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated protection policies to compare "
             "(arcc, sccdcd, lotecc); omitted = exposure sweep only"
+        ),
+    )
+    p.add_argument(
+        "--measured",
+        action="store_true",
+        help=(
+            "measure per-fault policy weights on the trace engine "
+            "(per scenario organization, cached) instead of the "
+            "worst-case constants; requires --policies"
         ),
     )
     p.add_argument(

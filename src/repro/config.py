@@ -220,6 +220,24 @@ RUNNER_CONFIG = RunnerConfig()
 
 
 @dataclass(frozen=True)
+class MeasurementConfig:
+    """Defaults of the measured-overhead bridge (:mod:`repro.fleet.measured`).
+
+    The bridge replays per-(policy, mix, fault-class) trace points to
+    measure locality-aware upgraded-access costs; these knobs pick the
+    trace scale and the RNG seed those points share with Figures
+    7.1-7.3 (identical seeds keep the simulation points cache-shared
+    across figures).
+    """
+
+    instructions_per_core: int = 40_000
+    seed: int = 0x7ACE
+
+
+MEASUREMENT_CONFIG = MeasurementConfig()
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Shared Monte-Carlo / trace-simulation defaults (Section 7.1)."""
 

@@ -56,26 +56,21 @@ def measured_overheads(
 ) -> Dict[FaultType, Tuple[float, float]]:
     """Measure (power, performance) ratios per fault type via Fig 7.2/7.3.
 
-    On the batched engine this is cheap enough to run at full 12-mix
-    scale before a Figure 7.4/7.5 sweep (``repro fig7.4 --measured``);
-    with a ``cache`` the underlying per-(mix, point) jobs are shared
-    with Figures 7.1-7.3 and the sensitivity sweep.
+    Delegates to the shared perf -> fleet bridge
+    (:func:`repro.fleet.measured.measured_fault_ratios`), which memoizes
+    per process and shares the per-(mix, point) cache entries with
+    Figures 7.1-7.3, the sensitivity sweep and the measured policy
+    comparison — ``repro fig7.4 --measured`` and ``repro fleet
+    --measured`` pay for one measurement between them.
     """
-    from repro.experiments.fig7_2_7_3 import run_fig7_2_7_3
+    from repro.fleet.measured import measured_fault_ratios
 
-    result = run_fig7_2_7_3(
+    return measured_fault_ratios(
         mixes=mixes,
         instructions_per_core=instructions_per_core,
         jobs=jobs,
         cache=cache,
     )
-    return {
-        ft: (
-            result.average_power_ratio(ft),
-            result.average_performance_ratio(ft),
-        )
-        for ft in result.fault_types
-    }
 
 
 @dataclass

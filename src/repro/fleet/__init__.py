@@ -35,6 +35,13 @@ from repro.fleet.engine import (
     sample_fleet,
 )
 from repro.fleet.events import FAULT_TYPE_ORDER, FaultEventBatch, empty_batch
+from repro.fleet.measured import (
+    MeasuredOverheadProfile,
+    clear_measured_memo,
+    measured_fault_ratios,
+    plan_measured_profiles,
+    run_measured_profiles,
+)
 from repro.fleet.policies import (
     DEFAULT_POLICY_KEYS,
     POLICY_KEYS,
@@ -42,7 +49,10 @@ from repro.fleet.policies import (
     PolicyFleetSummary,
     PolicySliceReport,
     ProtectionPolicy,
+    measure_scenario_profiles,
+    measured_policy,
     plan_fleet_compare,
+    plan_fleet_compare_measured,
     resolve_policies,
     run_fleet_compare,
 )
@@ -78,6 +88,7 @@ __all__ = [
     "FaultEventBatch",
     "FleetReport",
     "FleetScenario",
+    "MeasuredOverheadProfile",
     "POLICY_KEYS",
     "PolicyComparisonReport",
     "PolicyFleetSummary",
@@ -89,15 +100,22 @@ __all__ = [
     "SubPopulation",
     "SubPopulationReport",
     "channel_arrival_rates",
+    "clear_measured_memo",
     "dump_scenario_json",
     "empty_batch",
     "faulty_fractions_by_year",
     "fleet_blocks",
     "load_scenario_file",
+    "measure_scenario_profiles",
+    "measured_fault_ratios",
+    "measured_policy",
     "overhead_series_by_year",
     "plan_fleet",
     "plan_fleet_compare",
+    "plan_fleet_compare_measured",
+    "plan_measured_profiles",
     "resolve_policies",
+    "run_measured_profiles",
     "resolve_scenario",
     "run_fleet",
     "run_fleet_compare",

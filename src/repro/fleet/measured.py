@@ -1,0 +1,533 @@
+"""The perf -> fleet bridge: measured per-fault policy weights.
+
+The paper's headline comparison needs *measured* costs, not worst-case
+arithmetic: Figures 7.2/7.3 show that real workloads reuse the second
+sub-line of an upgraded pair, so the energy/bandwidth cost of upgraded
+pages sits well below ``1 + fraction``. PR 3's policy comparison still
+scored ARCC+LOT-ECC with the worst-case Figure 7.6 constants; this
+module closes the loop by replaying per-(policy, mix, fault-class)
+trace points on the batched engine and reducing them into
+:class:`MeasuredOverheadProfile` objects — per-fault additive weights
+with 95% confidence intervals across mixes — that
+:func:`~repro.fleet.policies.plan_fleet_compare` swaps into the
+:class:`~repro.fleet.policies.ProtectionPolicy` models.
+
+The arithmetic, per fault class with Table 7.4 fraction ``f`` (evaluated
+against the slice's own :class:`~repro.config.MemoryConfig`, so custom
+scenario-file organizations get their own fractions and their own
+measured points):
+
+* **arcc** — the measured excess is read straight off the trace ratios:
+  ``power = ratio - 1`` and ``perf = 1 - ratio``, each clamped to
+  ``[0, worst case]`` (the Figure 7.2/7.3 worst-case estimates ``f`` and
+  ``f / (1 + f)`` stay as the documented oracle bound).
+* **sccdcd** — always-strong chipkill pays ARCC's fully-upgraded state
+  as a constant premium: the measured lane-class (fraction 1) weights.
+* **lotecc** — an upgraded access doubles devices *and* issues extra
+  checksum operations (one extra read per read on top of LOT-ECC's
+  extra write per write). The device-doubling dimension reuses the
+  measured ARCC excess (that is where spatial locality helps); the
+  operation dimension is scaled by the mix's *measured* read/write
+  split: with write fraction ``w``, relaxed LOT-ECC issues ``r + 2w``
+  operations per access and the 18-device form ``2r + 2w``, so the
+  measured upgrade factor is ``F = 2 (2r + 2w) / (r + 2w)`` — between
+  2 (all writes, where both modes already pay the checksum write) and
+  the worst-case 4 (all reads) of
+  :data:`~repro.core.lotecc_arcc.WORST_CASE_UPGRADE_FACTOR`. Weights
+  are clamped to the Figure 7.6 worst case ``(F_wc - 1) f`` /
+  ``(1 - 1/F_wc) f`` per class.
+
+Every simulation point funnels through
+:func:`~repro.perf.engine.simulate_point_job` with the Figure 7.1-7.3
+seeds, so points shared with those figures are one cache entry (and one
+in-batch computation); the arcc/lotecc job pairs for a class are
+likewise identical computations the executor runs once. A per-process
+memo on top of the runner cache means ``repro fig7.4 --measured`` and
+``repro fleet --measured`` in one process measure once, and across
+processes share the same disk-cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import ARCC_MEMORY_CONFIG, MEASUREMENT_CONFIG, MemoryConfig
+from repro.core.lotecc_arcc import WORST_CASE_UPGRADE_FACTOR
+from repro.faults.models import TABLE_7_4_TYPES, upgraded_page_fraction
+from repro.faults.types import FaultType
+from repro.perf.engine import (
+    arcc_capable,
+    mix_write_fraction_job,
+    simulate_point_job,
+)
+from repro.perf.simulator import (
+    worst_case_performance_ratio,
+    worst_case_power_ratio,
+)
+from repro.fleet.report import MeanCI
+from repro.runner import ExperimentPlan, Job, ResultCache, execute_plan
+from repro.util.stats import confidence_interval
+from repro.util.tables import format_table
+from repro.workloads.spec import ALL_MIXES, WorkloadMix
+
+#: Fault classes measured per policy. ``sccdcd`` only needs the lane
+#: class (its premium is the fully-upgraded state); the adaptive
+#: policies accumulate every Table 7.4 class.
+POLICY_FAULT_CLASSES: Dict[str, Tuple[FaultType, ...]] = {
+    "arcc": TABLE_7_4_TYPES,
+    "sccdcd": (FaultType.LANE,),
+    "lotecc": TABLE_7_4_TYPES,
+}
+
+#: Profiles keyed by (policy key, organization name).
+ProfileMap = Dict[Tuple[str, str], "MeasuredOverheadProfile"]
+
+
+@dataclass(frozen=True)
+class MeasuredOverheadProfile:
+    """Measured per-fault weights of one (policy, organization).
+
+    Weights are *additive overhead fractions of the relaxed baseline*
+    (the same unit :class:`~repro.fleet.policies.ProtectionPolicy`
+    accumulates), each a ``(mean, 95% half-width)`` pair over the
+    measured mixes and clamped to the worst-case arithmetic — the
+    documented upper bound, kept in ``worst_case_power`` /
+    ``worst_case_performance`` as the oracle the bounds tests compare
+    against.
+    """
+
+    policy: str
+    organization: str
+    #: fault class -> (mean additive power weight, CI half-width)
+    power: Dict[FaultType, MeanCI]
+    #: fault class -> (mean additive performance-loss weight, CI)
+    performance: Dict[FaultType, MeanCI]
+    #: fault class -> worst-case additive weight (the oracle bound)
+    worst_case_power: Dict[FaultType, float]
+    worst_case_performance: Dict[FaultType, float]
+    #: Constant premium (sccdcd); zero for the adaptive policies.
+    static_power: MeanCI = (0.0, 0.0)
+    static_performance: MeanCI = (0.0, 0.0)
+    mixes: Tuple[str, ...] = ()
+    instructions_per_core: int = MEASUREMENT_CONFIG.instructions_per_core
+    seed: int = MEASUREMENT_CONFIG.seed
+
+    def per_fault_power(self) -> Dict[FaultType, float]:
+        """Mean additive power weights (the policy-model input)."""
+        return {ft: mean for ft, (mean, _) in self.power.items()}
+
+    def per_fault_performance(self) -> Dict[FaultType, float]:
+        """Mean additive performance weights (the policy-model input)."""
+        return {ft: mean for ft, (mean, _) in self.performance.items()}
+
+    @property
+    def power_cap(self) -> float:
+        """Measured saturation: fully-upgraded behaviour under power.
+
+        The largest class weight — the lane class (fraction 1) for the
+        Table 7.4 set — since a channel's accumulated overhead can never
+        exceed everything-upgraded behaviour.
+        """
+        return max(
+            (mean for mean, _ in self.power.values()), default=0.0
+        )
+
+    @property
+    def performance_cap(self) -> float:
+        """Measured saturation under performance loss."""
+        return max(
+            (mean for mean, _ in self.performance.values()), default=0.0
+        )
+
+    def validate_bounds(self) -> None:
+        """Raise if any measured weight exceeds its worst-case oracle."""
+        for name, measured, worst in (
+            ("power", self.power, self.worst_case_power),
+            ("performance", self.performance, self.worst_case_performance),
+        ):
+            for ft, (mean, _) in measured.items():
+                if mean > worst[ft] + 1e-12:
+                    raise ValueError(
+                        f"{self.policy}/{self.organization}: measured "
+                        f"{name} weight of {ft.value} ({mean:.6f}) exceeds "
+                        f"the worst-case bound {worst[ft]:.6f}"
+                    )
+
+
+def _clamp(value: float, upper: float) -> float:
+    return min(max(value, 0.0), upper)
+
+
+def _lotecc_factor(write_fraction: float) -> float:
+    """Measured LOT-ECC upgrade factor for one mix's read/write split.
+
+    ``2 * (2r + 2w) / (r + 2w)``: devices double, and the operation
+    count moves from ``r + 2w`` (nine-device LOT-ECC: extra write per
+    write) to ``2r + 2w`` (18-device: extra read per read as well).
+    All-reads recovers the worst case 4x of Figure 7.6; all-writes
+    bottoms out at 2x (both modes already pay the checksum write).
+
+    Examples
+    --------
+    >>> _lotecc_factor(0.0)     # all reads: the Figure 7.6 worst case
+    4.0
+    >>> _lotecc_factor(1.0)     # all writes
+    2.0
+    """
+    r = 1.0 - write_fraction
+    w = write_fraction
+    return 2.0 * (2.0 * r + 2.0 * w) / (r + 2.0 * w)
+
+
+def _class_samples(
+    policy: str,
+    fraction: float,
+    power_ratio: float,
+    performance_ratio: float,
+    write_fraction: float,
+) -> Tuple[float, float, float, float]:
+    """(power, perf, worst power, worst perf) weights of one (mix, class)."""
+    worst_factor = WORST_CASE_UPGRADE_FACTOR
+    arcc_power = max(power_ratio - 1.0, 0.0)
+    arcc_perf = max(1.0 - performance_ratio, 0.0)
+    if policy == "lotecc":
+        measured_factor = _lotecc_factor(write_fraction)
+        worst_power = (worst_factor - 1.0) * fraction
+        worst_perf = (1.0 - 1.0 / worst_factor) * fraction
+        # Device doubling carries the measured locality discount; the
+        # checksum-operation dimension scales it by the measured factor
+        # relative to ARCC's plain 2x (power) / halved bandwidth (perf).
+        power = arcc_power * (measured_factor - 1.0)
+        perf = arcc_perf * 2.0 * (1.0 - 1.0 / measured_factor)
+    else:
+        worst_power = worst_case_power_ratio(fraction) - 1.0
+        worst_perf = 1.0 - worst_case_performance_ratio(fraction)
+        power, perf = arcc_power, arcc_perf
+    return (
+        _clamp(power, worst_power),
+        _clamp(perf, worst_perf),
+        worst_power,
+        worst_perf,
+    )
+
+
+def _check_policies(policies: Sequence[str]) -> Tuple[str, ...]:
+    unknown = [key for key in policies if key not in POLICY_FAULT_CLASSES]
+    if unknown:
+        known = ", ".join(POLICY_FAULT_CLASSES)
+        raise KeyError(f"unknown policy key(s) {unknown}; known: {known}")
+    return tuple(dict.fromkeys(policies))
+
+
+def _check_organizations(
+    organizations: Sequence[MemoryConfig],
+) -> Tuple[MemoryConfig, ...]:
+    seen: Dict[str, MemoryConfig] = {}
+    for config in organizations:
+        if not arcc_capable(config):
+            raise ValueError(
+                f"organization {config.name!r} has {config.channels} "
+                "channel(s); measured overheads need the >=2 channels "
+                "ARCC pairing requires (use worst-case weights instead)"
+            )
+        known = seen.setdefault(config.name, config)
+        if known != config:
+            raise ValueError(
+                f"two different organizations share the name {config.name!r}"
+            )
+    return tuple(seen.values())
+
+
+def plan_measured_profiles(
+    policies: Sequence[str] = tuple(POLICY_FAULT_CLASSES),
+    organizations: Sequence[MemoryConfig] = (ARCC_MEMORY_CONFIG,),
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    instructions_per_core: int = MEASUREMENT_CONFIG.instructions_per_core,
+    seed: int = MEASUREMENT_CONFIG.seed,
+) -> ExperimentPlan:
+    """Measured overheads as runner jobs: one per (policy, mix, class).
+
+    Per organization and mix there is one shared fault-free baseline
+    job, one job per (policy, fault class) at the class's Table 7.4
+    fraction *for that organization*, and one (trace-only) read/write
+    split job feeding the LOT-ECC operation arithmetic. Jobs whose
+    computation coincides — the arcc and lotecc points of a class, or
+    any point shared with Figures 7.1-7.3 — dedup in-batch and in the
+    result cache. Assembles a dict keyed by (policy, organization name).
+    """
+    policies = _check_policies(policies)
+    organizations = _check_organizations(organizations)
+    mixes = list(mixes) if mixes is not None else list(ALL_MIXES)
+
+    jobs: List[Job] = []
+    # descriptor: ("base"|"wf", org index, mix index) or
+    #             ("class", org index, mix index, policy, fault type)
+    descriptors: List[Tuple[Any, ...]] = []
+    for o, config in enumerate(organizations):
+        for m, mix in enumerate(mixes):
+            jobs.append(
+                Job.create(
+                    f"measured[{config.name}/{mix.name}][fault-free]",
+                    simulate_point_job,
+                    mix=mix,
+                    config=config,
+                    upgraded_fraction=0.0,
+                    instructions_per_core=instructions_per_core,
+                    seed=seed,
+                )
+            )
+            descriptors.append(("base", o, m))
+            jobs.append(
+                Job.create(
+                    f"measured[{config.name}/{mix.name}][rw-split]",
+                    mix_write_fraction_job,
+                    mix=mix,
+                    instructions_per_core=instructions_per_core,
+                    seed=seed,
+                )
+            )
+            descriptors.append(("wf", o, m))
+            for policy in policies:
+                for fault_type in POLICY_FAULT_CLASSES[policy]:
+                    jobs.append(
+                        Job.create(
+                            f"measured[{config.name}/{policy}/{mix.name}]"
+                            f"[{fault_type.value}]",
+                            simulate_point_job,
+                            mix=mix,
+                            config=config,
+                            upgraded_fraction=upgraded_page_fraction(
+                                fault_type, config
+                            ),
+                            instructions_per_core=instructions_per_core,
+                            seed=seed,
+                        )
+                    )
+                    descriptors.append(("class", o, m, policy, fault_type))
+
+    mix_names = tuple(mix.name for mix in mixes)
+
+    def assemble(values: List[Any]) -> ProfileMap:
+        base: Dict[Tuple[int, int], Dict[str, float]] = {}
+        write_fraction: Dict[Tuple[int, int], float] = {}
+        points: Dict[Tuple[int, int, str, FaultType], Dict[str, float]] = {}
+        for descriptor, value in zip(descriptors, values):
+            if descriptor[0] == "base":
+                base[descriptor[1:]] = value
+            elif descriptor[0] == "wf":
+                write_fraction[descriptor[1:]] = value["write_fraction"]
+            else:
+                points[descriptor[1:]] = value
+
+        profiles: ProfileMap = {}
+        for o, config in enumerate(organizations):
+            for policy in policies:
+                power: Dict[FaultType, MeanCI] = {}
+                performance: Dict[FaultType, MeanCI] = {}
+                worst_power: Dict[FaultType, float] = {}
+                worst_perf: Dict[FaultType, float] = {}
+                for fault_type in POLICY_FAULT_CLASSES[policy]:
+                    fraction = upgraded_page_fraction(fault_type, config)
+                    power_samples: List[float] = []
+                    perf_samples: List[float] = []
+                    for m in range(len(mixes)):
+                        fault_free = base[(o, m)]
+                        point = points[(o, m, policy, fault_type)]
+                        p, q, wp, wq = _class_samples(
+                            policy,
+                            fraction,
+                            point["power_w"] / fault_free["power_w"],
+                            point["performance"] / fault_free["performance"],
+                            write_fraction[(o, m)],
+                        )
+                        power_samples.append(p)
+                        perf_samples.append(q)
+                        worst_power[fault_type] = wp
+                        worst_perf[fault_type] = wq
+                    power[fault_type] = confidence_interval(power_samples)
+                    performance[fault_type] = confidence_interval(
+                        perf_samples
+                    )
+                static_power: MeanCI = (0.0, 0.0)
+                static_perf: MeanCI = (0.0, 0.0)
+                per_fault_power = power
+                per_fault_perf = performance
+                if policy == "sccdcd":
+                    # Always-strong: the lane measurement becomes the
+                    # constant premium; nothing accrues per fault.
+                    static_power = power[FaultType.LANE]
+                    static_perf = performance[FaultType.LANE]
+                    per_fault_power = {}
+                    per_fault_perf = {}
+                    worst_power = {}
+                    worst_perf = {}
+                profiles[(policy, config.name)] = MeasuredOverheadProfile(
+                    policy=policy,
+                    organization=config.name,
+                    power=per_fault_power,
+                    performance=per_fault_perf,
+                    worst_case_power=worst_power,
+                    worst_case_performance=worst_perf,
+                    static_power=static_power,
+                    static_performance=static_perf,
+                    mixes=mix_names,
+                    instructions_per_core=instructions_per_core,
+                    seed=seed,
+                )
+        return profiles
+
+    return ExperimentPlan(name="measured", jobs=jobs, assemble=assemble)
+
+
+_profile_memo: Dict[Tuple[Any, ...], ProfileMap] = {}
+_ratio_memo: Dict[Tuple[Any, ...], Dict[FaultType, Tuple[float, float]]] = {}
+
+
+def clear_measured_memo() -> None:
+    """Drop the per-process measurement memos (cold-run benchmarking)."""
+    _profile_memo.clear()
+    _ratio_memo.clear()
+
+
+def run_measured_profiles(
+    policies: Sequence[str] = tuple(POLICY_FAULT_CLASSES),
+    organizations: Sequence[MemoryConfig] = (ARCC_MEMORY_CONFIG,),
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    instructions_per_core: int = MEASUREMENT_CONFIG.instructions_per_core,
+    seed: int = MEASUREMENT_CONFIG.seed,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> ProfileMap:
+    """Measure overhead profiles (memoized per process, cache-shared).
+
+    The memo keys on the measurement inputs only — never the worker
+    count or cache — so one process asking twice (``fig7.4 --measured``
+    then ``fleet --measured``) measures once, and the answer is
+    identical at any ``jobs``.
+    """
+    policies = _check_policies(policies)
+    organizations = _check_organizations(organizations)
+    mix_list = list(mixes) if mixes is not None else list(ALL_MIXES)
+    key = (
+        policies,
+        organizations,
+        tuple(mix.name for mix in mix_list),
+        instructions_per_core,
+        seed,
+    )
+    if key not in _profile_memo:
+        _profile_memo[key] = execute_plan(
+            plan_measured_profiles(
+                policies=policies,
+                organizations=organizations,
+                mixes=mix_list,
+                instructions_per_core=instructions_per_core,
+                seed=seed,
+            ),
+            max_workers=jobs,
+            cache=cache,
+        )
+    return _profile_memo[key]
+
+
+def measured_fault_ratios(
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    instructions_per_core: int = MEASUREMENT_CONFIG.instructions_per_core,
+    seed: int = MEASUREMENT_CONFIG.seed,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Dict[FaultType, Tuple[float, float]]:
+    """Measured (power, performance) ratios per fault type (Fig 7.2/7.3).
+
+    The computation behind ``repro fig7.4 --measured``, hoisted onto the
+    bridge so it is memoized per process and shares the per-(mix, point)
+    cache entries with :func:`run_measured_profiles` — one measurement
+    feeds Figures 7.4/7.5 *and* the policy comparison.
+    """
+    from repro.experiments.fig7_2_7_3 import run_fig7_2_7_3
+
+    mix_list = list(mixes) if mixes is not None else list(ALL_MIXES)
+    key = (
+        tuple(mix.name for mix in mix_list),
+        instructions_per_core,
+        seed,
+    )
+    if key not in _ratio_memo:
+        result = run_fig7_2_7_3(
+            mixes=mix_list,
+            instructions_per_core=instructions_per_core,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+        )
+        _ratio_memo[key] = {
+            ft: (
+                result.average_power_ratio(ft),
+                result.average_performance_ratio(ft),
+            )
+            for ft in result.fault_types
+        }
+    return _ratio_memo[key]
+
+
+def profiles_to_table(profiles: Mapping[Tuple[str, str], Any]) -> str:
+    """Render measured weights next to their worst-case oracle bounds."""
+    rows = []
+    for (policy, organization), profile in profiles.items():
+        for fault_type in profile.power:
+            p_mean, p_half = profile.power[fault_type]
+            q_mean, q_half = profile.performance[fault_type]
+            rows.append(
+                [
+                    policy,
+                    organization,
+                    fault_type.value,
+                    f"{p_mean * 100:.3f}% ±{p_half * 100:.3f}",
+                    f"{profile.worst_case_power[fault_type] * 100:.3f}%",
+                    f"{q_mean * 100:.3f}% ±{q_half * 100:.3f}",
+                    f"{profile.worst_case_performance[fault_type] * 100:.3f}%",
+                ]
+            )
+        if profile.static_power != (0.0, 0.0):
+            s_mean, s_half = profile.static_power
+            t_mean, t_half = profile.static_performance
+            rows.append(
+                [
+                    policy,
+                    organization,
+                    "static premium",
+                    f"{s_mean * 100:.3f}% ±{s_half * 100:.3f}",
+                    "-",
+                    f"{t_mean * 100:.3f}% ±{t_half * 100:.3f}",
+                    "-",
+                ]
+            )
+    return format_table(
+        [
+            "Policy",
+            "Organization",
+            "Fault class",
+            "Power weight",
+            "Worst case",
+            "Perf weight",
+            "Worst case",
+        ],
+        rows,
+        title=(
+            "Measured per-fault weights (95% CI across mixes; "
+            "worst case = documented upper bound)"
+        ),
+    )
+
+
+__all__ = [
+    "MeasuredOverheadProfile",
+    "POLICY_FAULT_CLASSES",
+    "ProfileMap",
+    "clear_measured_memo",
+    "measured_fault_ratios",
+    "plan_measured_profiles",
+    "profiles_to_table",
+    "run_measured_profiles",
+]

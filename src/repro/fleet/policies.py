@@ -27,17 +27,23 @@ bit-identical at any worker count. Monte-Carlo means (overheads,
 uncorrectable-channel fraction) carry 95% confidence intervals;
 SDC/DUE columns come from the closed-form Chapter 6 models evaluated
 per slice.
+
+By default the per-fault weights are the worst-case constants above
+(kept as the documented fallback and oracle bound); pass measured
+profiles (:mod:`repro.fleet.measured`, ``repro fleet --measured``) to
+price every policy with locality-aware weights measured by the batched
+trace engine against each slice's own memory organization.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.config import MemoryConfig
+from repro.config import MEASUREMENT_CONFIG, MemoryConfig
 from repro.core.lotecc_arcc import WORST_CASE_UPGRADE_FACTOR
 from repro.experiments.fig7_4_7_5 import (
     FALLBACK_OVERHEADS,
@@ -52,6 +58,12 @@ from repro.fleet.engine import (
     sample_block,
 )
 from repro.fleet.events import FAULT_TYPE_ORDER, FaultEventBatch
+from repro.fleet.measured import (
+    MeasuredOverheadProfile,
+    ProfileMap,
+    profiles_to_table,
+    run_measured_profiles,
+)
 from repro.fleet.report import DEFAULT_FLEET_SEED, MeanCI, _Moments
 from repro.fleet.scenarios import (
     FleetScenario,
@@ -247,6 +259,40 @@ def resolve_policies(
     if len({p.key for p in policies}) != len(policies):
         raise ValueError("duplicate policy keys")
     return tuple(policies)
+
+
+def measured_policy(
+    base: ProtectionPolicy, profile: MeasuredOverheadProfile
+) -> ProtectionPolicy:
+    """``base`` with its cost model swapped for a measured profile.
+
+    Reliability fields (SDC model, exposure windows) are untouched —
+    measurement changes what protection *costs*, never what it covers.
+    Accumulation caps become the profile's measured saturation (the
+    fully-upgraded state under the measured weights), so the documented
+    cap semantics — a channel cannot exceed fully-upgraded behaviour —
+    carry over to the measured scale.
+    """
+    if profile.policy != base.key:
+        raise ValueError(
+            f"profile for {profile.policy!r} cannot parameterize "
+            f"policy {base.key!r}"
+        )
+    if base.key == "sccdcd":
+        return replace(
+            base,
+            title=f"{base.title} [measured]",
+            static_power_overhead=profile.static_power[0],
+            static_performance_overhead=profile.static_performance[0],
+        )
+    return replace(
+        base,
+        title=f"{base.title} [measured]",
+        per_fault_power=profile.per_fault_power(),
+        per_fault_performance=profile.per_fault_performance(),
+        power_cap=profile.power_cap,
+        performance_cap=profile.performance_cap,
+    )
 
 
 # -- per-slice analytic reliability -------------------------------------------
@@ -457,13 +503,20 @@ class PolicyFleetSummary:
 
 @dataclass
 class PolicyComparisonReport:
-    """The TCO-style decision table of one scenario."""
+    """The TCO-style decision table of one scenario.
+
+    ``profiles`` is set on measured runs: the
+    :class:`~repro.fleet.measured.MeasuredOverheadProfile` objects whose
+    weights (with 95% CIs) replaced the worst-case constants, rendered
+    as an extra table so the decision is auditable.
+    """
 
     scenario: str
     description: str
     policies: List[str]
     slices: List[PolicySliceReport]
     fleet: List[PolicyFleetSummary]
+    profiles: Optional[List[MeasuredOverheadProfile]] = None
 
     @property
     def total_channels(self) -> int:
@@ -574,7 +627,15 @@ class PolicyComparisonReport:
             f"lowest SDC: {self.best_by('sdc')} | "
             f"lowest DUE: {self.best_by('due')}"
         )
-        return per_slice + "\n" + fleet + "\n" + verdict
+        parts = [per_slice, fleet, verdict]
+        if self.profiles:
+            parts.insert(
+                0,
+                profiles_to_table(
+                    {(p.policy, p.organization): p for p in self.profiles}
+                ),
+            )
+        return "\n".join(parts)
 
 
 def _with_static(moments: _Moments, static: float) -> MeanCI:
@@ -583,12 +644,32 @@ def _with_static(moments: _Moments, static: float) -> MeanCI:
     return (mean + static, half)
 
 
+def _fleet_static(
+    populations: Sequence[SubPopulation],
+    statics: Mapping[str, float],
+) -> float:
+    """Channel-weighted constant premium across slices.
+
+    All slices share one value on the worst-case path (one policy object
+    per key); measured runs may price slices' organizations differently,
+    in which case the fleet roll-up weights by deployed channels.
+    """
+    distinct = {statics[pop.name] for pop in populations}
+    if len(distinct) == 1:
+        return distinct.pop()
+    total = sum(pop.channels for pop in populations)
+    return (
+        sum(pop.channels * statics[pop.name] for pop in populations) / total
+    )
+
+
 def plan_fleet_compare(
     scenario: "FleetScenario | str" = "mixed-generations",
     policies: Sequence[str] = DEFAULT_POLICY_KEYS,
     channels: Optional[int] = None,
     seed: int = DEFAULT_FLEET_SEED,
     overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
+    profiles: Optional[ProfileMap] = None,
 ) -> ExperimentPlan:
     """A policy comparison as runner jobs: one per (policy, slice, block).
 
@@ -596,6 +677,13 @@ def plan_fleet_compare(
     :func:`~repro.fleet.report.plan_fleet` — from ``seed`` and the slice
     position, never from the policy — so every policy scores identical
     fault histories and results are independent of worker count.
+
+    ``profiles`` (keyed ``(policy key, organization name)``, from
+    :func:`~repro.fleet.measured.run_measured_profiles`) swaps the
+    worst-case per-fault constants for measured weights: each slice's
+    jobs carry the policy variant measured against *its own* memory
+    organization. Every (policy, slice's organization) pair must be
+    present.
     """
     scenario = resolve_scenario(scenario)
     if channels is not None:
@@ -603,6 +691,22 @@ def plan_fleet_compare(
     built = resolve_policies(policies, overheads=overheads)
     pop_seeds = derive_seeds(seed, len(scenario.populations))
     scrub_hours = ReliabilityParams().scrub_interval_hours
+
+    effective: Dict[Tuple[str, str], ProtectionPolicy] = {}
+    for policy in built:
+        for pop in scenario.populations:
+            variant = policy
+            if profiles is not None:
+                profile_key = (policy.key, pop.config.name)
+                if profile_key not in profiles:
+                    raise KeyError(
+                        f"no measured profile for policy {policy.key!r} on "
+                        f"organization {pop.config.name!r}; measure the "
+                        "scenario's organizations first "
+                        "(run_measured_profiles)"
+                    )
+                variant = measured_policy(policy, profiles[profile_key])
+            effective[(policy.key, pop.name)] = variant
 
     jobs: List[Job] = []
     spans: Dict[Tuple[str, str], Tuple[int, int]] = {}
@@ -617,7 +721,7 @@ def plan_fleet_compare(
                         f"fleet-compare[{scenario.name}/{pop.name}/"
                         f"{policy.key}][{index}]",
                         _policy_block_job,
-                        policy=policy,
+                        policy=effective[(policy.key, pop.name)],
                         block_seed=block_seed,
                         channels=size,
                         sample_years=pop.lifespan_years,
@@ -641,7 +745,12 @@ def plan_fleet_compare(
             fleet_unc_n = 0
             sdc_per_year = 0.0
             due_per_year = 0.0
+            static_power: Dict[str, float] = {}
+            static_perf: Dict[str, float] = {}
             for pop in scenario.populations:
+                variant = effective[(policy.key, pop.name)]
+                static_power[pop.name] = variant.static_power_overhead
+                static_perf[pop.name] = variant.static_performance_overhead
                 start, stop = spans[(policy.key, pop.name)]
                 power = _Moments()
                 perf = _Moments()
@@ -651,8 +760,8 @@ def plan_fleet_compare(
                     power.add(n, block["power_sum"], block["power_sumsq"])
                     perf.add(n, block["perf_sum"], block["perf_sumsq"])
                     unc_sum += block["uncorrectable_sum"]
-                sdc = policy_sdc_per_1k(policy, pop)
-                due = policy_due_per_1k(policy, pop)
+                sdc = policy_sdc_per_1k(variant, pop)
+                due = policy_due_per_1k(variant, pop)
                 slice_reports.append(
                     PolicySliceReport(
                         policy=policy.key,
@@ -660,10 +769,10 @@ def plan_fleet_compare(
                         channels=pop.channels,
                         lifespan_years=pop.lifespan_years,
                         power_overhead=_with_static(
-                            power, policy.static_power_overhead
+                            power, variant.static_power_overhead
                         ),
                         performance_overhead=_with_static(
-                            perf, policy.static_performance_overhead
+                            perf, variant.static_performance_overhead
                         ),
                         sdc_per_1k_machine_years=sdc,
                         due_per_1k_machine_years=due,
@@ -678,15 +787,20 @@ def plan_fleet_compare(
                 fleet_unc_n += pop.channels
                 sdc_per_year += pop.channels * sdc / 1000.0
                 due_per_year += pop.channels * due / 1000.0
+            any_variant = effective[
+                (policy.key, scenario.populations[0].name)
+            ]
             summaries.append(
                 PolicyFleetSummary(
                     policy=policy.key,
-                    title=policy.title,
+                    title=any_variant.title,
                     power_overhead=_with_static(
-                        fleet_power, policy.static_power_overhead
+                        fleet_power,
+                        _fleet_static(scenario.populations, static_power),
                     ),
                     performance_overhead=_with_static(
-                        fleet_perf, policy.static_performance_overhead
+                        fleet_perf,
+                        _fleet_static(scenario.populations, static_perf),
                     ),
                     sdc_events_per_year=sdc_per_year,
                     due_events_per_year=due_per_year,
@@ -701,9 +815,51 @@ def plan_fleet_compare(
             policies=[policy.key for policy in built],
             slices=slice_reports,
             fleet=summaries,
+            profiles=(
+                None
+                if profiles is None
+                else [
+                    profiles[pair]
+                    for pair in sorted(
+                        {
+                            (policy.key, pop.config.name)
+                            for policy in built
+                            for pop in scenario.populations
+                        }
+                    )
+                ]
+            ),
         )
 
     return ExperimentPlan(name="fleet-compare", jobs=jobs, assemble=assemble)
+
+
+def measure_scenario_profiles(
+    scenario: "FleetScenario | str",
+    policies: Sequence[str] = DEFAULT_POLICY_KEYS,
+    mixes: Optional[Sequence[Any]] = None,
+    instructions_per_core: int = MEASUREMENT_CONFIG.instructions_per_core,
+    measurement_seed: int = MEASUREMENT_CONFIG.seed,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> ProfileMap:
+    """Measure overhead profiles for every organization of a scenario.
+
+    Thin wrapper over
+    :func:`~repro.fleet.measured.run_measured_profiles` that collects
+    the scenario's distinct organizations; raises ``ValueError`` when
+    one of them cannot host upgraded pages (single channel).
+    """
+    scenario = resolve_scenario(scenario)
+    return run_measured_profiles(
+        policies=tuple(policies),
+        organizations=scenario.organizations(),
+        mixes=mixes,
+        instructions_per_core=instructions_per_core,
+        seed=measurement_seed,
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def run_fleet_compare(
@@ -712,6 +868,11 @@ def run_fleet_compare(
     channels: Optional[int] = None,
     seed: int = DEFAULT_FLEET_SEED,
     overheads: Optional[Dict[FaultType, Tuple[float, float]]] = None,
+    profiles: Optional[ProfileMap] = None,
+    measured: bool = False,
+    measured_instructions_per_core: int = (
+        MEASUREMENT_CONFIG.instructions_per_core
+    ),
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> PolicyComparisonReport:
@@ -728,9 +889,25 @@ def run_fleet_compare(
         Rescale the whole fleet proportionally to this many channels.
     seed : int
         Experiment seed; block streams derive from it deterministically.
+    profiles : ProfileMap, optional
+        Pre-measured overhead profiles (keyed (policy, organization
+        name)) to price the policies with.
+    measured : bool
+        Measure profiles first (per scenario organization, through the
+        same ``jobs``/``cache``) and price the policies with them — the
+        end-to-end perf -> fleet pipeline. Ignored when ``profiles`` is
+        given.
     jobs : int
         Worker processes (1 = inline; results are identical).
     """
+    if profiles is None and measured:
+        profiles = measure_scenario_profiles(
+            scenario,
+            policies=policies,
+            instructions_per_core=measured_instructions_per_core,
+            jobs=jobs,
+            cache=cache,
+        )
     return execute_plan(
         plan_fleet_compare(
             scenario=scenario,
@@ -738,7 +915,57 @@ def run_fleet_compare(
             channels=channels,
             seed=seed,
             overheads=overheads,
+            profiles=profiles,
         ),
         max_workers=jobs,
         cache=cache,
+    )
+
+
+def plan_fleet_compare_measured(
+    scenario: "FleetScenario | str" = "mixed-generations",
+    policies: Sequence[str] = DEFAULT_POLICY_KEYS,
+    channels: Optional[int] = None,
+    seed: int = DEFAULT_FLEET_SEED,
+    instructions_per_core: int = MEASUREMENT_CONFIG.instructions_per_core,
+    measurement_seed: int = MEASUREMENT_CONFIG.seed,
+) -> ExperimentPlan:
+    """The measured comparison as one registry plan.
+
+    The plan's jobs are the measurement points (the expensive,
+    cache-shared part); assembly reduces them into profiles and then
+    runs the (vectorized, cheap) comparison blocks inline — so the
+    registry's plan/assemble contract holds even though the block jobs'
+    weights depend on measured values. Results are bit-identical at any
+    worker count: measurement points own explicit seeds and the inline
+    comparison is deterministic.
+    """
+    scenario = resolve_scenario(scenario)
+    if channels is not None:
+        scenario = scenario.scaled_to(channels)
+    resolve_policies(policies)  # fail fast on unknown keys
+    from repro.fleet.measured import plan_measured_profiles
+
+    measured_plan = plan_measured_profiles(
+        policies=tuple(policies),
+        organizations=scenario.organizations(),
+        instructions_per_core=instructions_per_core,
+        seed=measurement_seed,
+    )
+
+    def assemble(values: List[Any]) -> PolicyComparisonReport:
+        profiles = measured_plan.assemble(values)
+        return execute_plan(
+            plan_fleet_compare(
+                scenario=scenario,
+                policies=policies,
+                seed=seed,
+                profiles=profiles,
+            )
+        )
+
+    return ExperimentPlan(
+        name="fleet-compare-measured",
+        jobs=measured_plan.jobs,
+        assemble=assemble,
     )

@@ -67,6 +67,9 @@ class SubPopulationReport:
     events_per_channel: MeanCI
     #: Fraction of channels that saw at least one fault.
     affected_fraction: MeanCI
+    #: Memory-organization name of the slice (built-in or a custom
+    #: scenario-file ``[organizations.<name>]`` table).
+    organization: str = ""
 
     def final_fraction(self) -> float:
         """Faulty-page fraction at the end of the lifespan."""
@@ -120,6 +123,7 @@ class FleetReport:
         summary_rows = [
             [
                 report.name,
+                report.organization or "-",
                 f"{report.events_per_channel[0]:.4f} "
                 f"±{report.events_per_channel[1]:.4f}",
                 f"{report.affected_fraction[0] * 100:.2f}% "
@@ -128,7 +132,7 @@ class FleetReport:
             for report in self.subpopulations
         ]
         summary = format_table(
-            ["Slice", "Faults/channel", "Channels w/ >=1 fault"],
+            ["Slice", "Organization", "Faults/channel", "Channels w/ >=1 fault"],
             summary_rows,
             title="Per-slice lifetime fault exposure",
         )
@@ -216,6 +220,7 @@ def _assemble_population(
         faulty_fraction=[moments.interval() for moments in fraction],
         events_per_channel=events.interval(),
         affected_fraction=affected.interval(),
+        organization=pop.config.name,
     )
 
 

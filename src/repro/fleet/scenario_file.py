@@ -29,6 +29,7 @@ from repro.config import (
 )
 from repro.faults.types import DEFAULT_FIT_RATES, FaultRates
 from repro.fleet.scenarios import FleetScenario, RatePhase, SubPopulation
+from repro.util.bitops import is_power_of_two
 from repro.util.suggest import did_you_mean
 
 #: Named memory organizations a scenario file may reference.
@@ -45,8 +46,34 @@ _TOP_LEVEL_KEYS = (
     "seed",
     "channels",
     "policies",
+    "organizations",
     "populations",
 )
+_ORGANIZATION_KEYS = (
+    "technology",
+    "io_width",
+    "channels",
+    "ranks_per_channel",
+    "devices_per_rank",
+    "data_devices_per_rank",
+    "cacheline_bytes",
+    "page_bytes",
+    "capacity_per_channel_bytes",
+    "banks_per_device",
+    "pages_per_row",
+)
+_ORGANIZATION_REQUIRED = (
+    "io_width",
+    "channels",
+    "ranks_per_channel",
+    "devices_per_rank",
+    "data_devices_per_rank",
+)
+#: Organization fields that must be powers of two: line and page sizes
+#: feed power-of-two address arithmetic (set indexing, page striping);
+#: the I/O width additionally needs a datasheet row (x4 or x8).
+_ORGANIZATION_POW2 = ("cacheline_bytes", "page_bytes")
+_SUPPORTED_IO_WIDTHS = (4, 8)
 _POPULATION_KEYS = (
     "name",
     "channels",
@@ -77,13 +104,16 @@ class ScenarioFile:
     flags win over them. ``seed`` and ``channels`` apply only to this
     file's scenario (built-in scenarios named alongside it keep their
     own defaults); ``policies`` selects the run's mode, so it applies
-    to the whole invocation.
+    to the whole invocation. ``organizations`` holds the file's custom
+    ``[organizations.<name>]`` tables (the populations embed the same
+    configs, so this is introspection, not extra state).
     """
 
     scenario: FleetScenario
     seed: Optional[int] = None
     channels: Optional[int] = None
     policies: Optional[Tuple[str, ...]] = None
+    organizations: Tuple[MemoryConfig, ...] = ()
 
 
 def _fail(path: str, message: str) -> "ScenarioFileError":
@@ -169,6 +199,82 @@ def _parse_rates(raw: Any, path: str) -> FaultRates:
     return FaultRates(**values)
 
 
+def _parse_organization(name: str, raw: Any, path: str) -> MemoryConfig:
+    """One ``[organizations.<name>]`` table -> :class:`MemoryConfig`.
+
+    The table key is the organization's name (what populations reference
+    via ``config`` and what reports print); it must not shadow a
+    built-in name.
+    """
+    if not name:
+        raise _fail("organizations", "organization names must not be empty")
+    if name in CONFIG_NAMES:
+        raise _fail(
+            path,
+            f"organization name {name!r} shadows a built-in config; "
+            f"built-ins: {', '.join(CONFIG_NAMES)}",
+        )
+    _check_keys(raw, _ORGANIZATION_KEYS, path)
+    for key in _ORGANIZATION_REQUIRED:
+        if key not in raw:
+            raise _fail(path, f"missing required key {key!r}")
+
+    technology = "DDR2-667"
+    if "technology" in raw:
+        technology = _get_str(raw, "technology", path)
+    values: Dict[str, int] = {}
+    for key in _ORGANIZATION_KEYS:
+        if key == "technology" or key not in raw:
+            continue
+        values[key] = _get_int(raw, key, path, minimum=1)
+    for key in _ORGANIZATION_POW2:
+        if key in values and not is_power_of_two(values[key]):
+            raise _fail(
+                f"{path}.{key}",
+                f"must be a power of two, got {values[key]}",
+            )
+    io_width = values["io_width"]
+    if io_width not in _SUPPORTED_IO_WIDTHS:
+        raise _fail(
+            f"{path}.io_width",
+            f"no datasheet parameters for x{io_width} devices; "
+            f"supported: {', '.join(str(w) for w in _SUPPORTED_IO_WIDTHS)}",
+        )
+    page_bytes = values.get("page_bytes", 4096)
+    cacheline_bytes = values.get("cacheline_bytes", 64)
+    if page_bytes % cacheline_bytes:
+        raise _fail(
+            f"{path}.page_bytes",
+            f"must be a multiple of cacheline_bytes ({cacheline_bytes}), "
+            f"got {page_bytes}",
+        )
+    capacity = values.get("capacity_per_channel_bytes")
+    if capacity is not None and capacity % page_bytes:
+        raise _fail(
+            f"{path}.capacity_per_channel_bytes",
+            f"must be a multiple of page_bytes ({page_bytes}), "
+            f"got {capacity}",
+        )
+    try:
+        return MemoryConfig(name=name, technology=technology, **values)
+    except ValueError as exc:
+        raise _fail(path, str(exc)) from exc
+
+
+def _parse_organizations(raw: Any, path: str) -> Dict[str, MemoryConfig]:
+    if not isinstance(raw, Mapping):
+        raise _fail(
+            path,
+            f"expected a table of organization tables, got {_type_name(raw)}",
+        )
+    return {
+        str(name): _parse_organization(
+            str(name), table, f"{path}.{name}" if name else path
+        )
+        for name, table in raw.items()
+    }
+
+
 def _parse_phase(raw: Any, path: str) -> RatePhase:
     _check_keys(raw, _PHASE_KEYS, path)
     for key in _PHASE_KEYS:
@@ -182,23 +288,30 @@ def _parse_phase(raw: Any, path: str) -> RatePhase:
     )
 
 
-def _parse_population(raw: Any, path: str) -> SubPopulation:
+def _parse_population(
+    raw: Any,
+    path: str,
+    organizations: Optional[Mapping[str, MemoryConfig]] = None,
+) -> SubPopulation:
     _check_keys(raw, _POPULATION_KEYS, path)
     name = _get_str(raw, "name", path)
     if "channels" not in raw:
         raise _fail(path, "missing required key 'channels'")
     channels = _get_int(raw, "channels", path, minimum=1)
 
+    known_configs: Dict[str, MemoryConfig] = dict(CONFIG_NAMES)
+    known_configs.update(organizations or {})
     config = ARCC_MEMORY_CONFIG
     if "config" in raw:
         config_name = _get_str(raw, "config", path)
-        if config_name not in CONFIG_NAMES:
+        if config_name not in known_configs:
             raise _fail(
                 f"{path}.config",
-                f"unknown memory config {config_name!r}; "
-                f"known: {', '.join(CONFIG_NAMES)}",
+                f"unknown memory config {config_name!r}"
+                f"{did_you_mean(config_name, known_configs)}; "
+                f"known: {', '.join(known_configs)}",
             )
-        config = CONFIG_NAMES[config_name]
+        config = known_configs[config_name]
 
     rates = DEFAULT_FIT_RATES
     if "rates" in raw:
@@ -285,6 +398,12 @@ def scenario_from_mapping(
                     )
             policies = tuple(value)
 
+        organizations: Dict[str, MemoryConfig] = {}
+        if "organizations" in raw:
+            organizations = _parse_organizations(
+                raw["organizations"], "organizations"
+            )
+
         if "populations" not in raw:
             raise _fail("", "missing required key 'populations'")
         raw_pops = raw["populations"]
@@ -298,9 +417,22 @@ def scenario_from_mapping(
         if not raw_pops:
             raise _fail("populations", "needs at least one sub-population")
         populations = tuple(
-            _parse_population(pop, f"populations[{i}]")
+            _parse_population(pop, f"populations[{i}]", organizations)
             for i, pop in enumerate(raw_pops)
         )
+        # Strict like everything else — and what keeps load -> dump ->
+        # load exact: a dump can only emit organizations its populations
+        # reference, so an unreferenced table (usually a typo in some
+        # population's `config`) is rejected rather than silently lost.
+        referenced = {pop.config.name for pop in populations}
+        unused = [name for name in organizations if name not in referenced]
+        if unused:
+            raise _fail(
+                f"organizations.{unused[0]}",
+                "organization is not referenced by any population "
+                "(reference it via `config = " + repr(unused[0]) + "` "
+                "or remove the table)",
+            )
 
         try:
             scenario = FleetScenario(
@@ -313,7 +445,11 @@ def scenario_from_mapping(
             raise ScenarioFileError(f"{source}: {exc}") from None
         raise
     return ScenarioFile(
-        scenario=scenario, seed=seed, channels=channels, policies=policies
+        scenario=scenario,
+        seed=seed,
+        channels=channels,
+        policies=policies,
+        organizations=tuple(organizations.values()),
     )
 
 
@@ -357,10 +493,29 @@ def _config_name(config: MemoryConfig) -> str:
     for name, known in CONFIG_NAMES.items():
         if known == config:
             return name
-    raise ScenarioFileError(
-        f"memory config {config.name!r} has no file-format name; "
-        f"known: {', '.join(CONFIG_NAMES)}"
-    )
+    if config.name in CONFIG_NAMES:
+        raise ScenarioFileError(
+            f"custom memory config is named {config.name!r}, which shadows "
+            f"a built-in; built-ins: {', '.join(CONFIG_NAMES)}"
+        )
+    return config.name
+
+
+def _organization_table(config: MemoryConfig) -> Dict[str, Any]:
+    """Full ``[organizations.<name>]`` table of one custom config."""
+    return {
+        "technology": config.technology,
+        "io_width": config.io_width,
+        "channels": config.channels,
+        "ranks_per_channel": config.ranks_per_channel,
+        "devices_per_rank": config.devices_per_rank,
+        "data_devices_per_rank": config.data_devices_per_rank,
+        "cacheline_bytes": config.cacheline_bytes,
+        "page_bytes": config.page_bytes,
+        "capacity_per_channel_bytes": config.capacity_per_channel_bytes,
+        "banks_per_device": config.banks_per_device,
+        "pages_per_row": config.pages_per_row,
+    }
 
 
 def scenario_to_mapping(
@@ -372,9 +527,16 @@ def scenario_to_mapping(
     """The plain-dict form of a scenario — the inverse of
     :func:`scenario_from_mapping`.
 
-    Every population is written out in full (no defaults elided), so a
-    dump is self-documenting and round-trips exactly.
+    Every population is written out in full (no defaults elided), and
+    every non-built-in organization becomes an ``organizations`` table
+    keyed by its name, so a dump is self-documenting and round-trips
+    exactly.
     """
+    organizations: Dict[str, Dict[str, Any]] = {}
+    for config in scenario.organizations():
+        if any(config == known for known in CONFIG_NAMES.values()):
+            continue
+        organizations[_config_name(config)] = _organization_table(config)
     populations: List[Dict[str, Any]] = []
     for pop in scenario.populations:
         entry: Dict[str, Any] = {
@@ -401,6 +563,8 @@ def scenario_to_mapping(
         "description": scenario.description,
         "populations": populations,
     }
+    if organizations:
+        out["organizations"] = organizations
     if seed is not None:
         out["seed"] = seed
     if channels is not None:

@@ -153,11 +153,31 @@ class FleetScenario:
         names = [pop.name for pop in self.populations]
         if len(set(names)) != len(names):
             raise ValueError("sub-population names must be unique")
+        seen: Dict[str, MemoryConfig] = {}
+        for pop in self.populations:
+            known = seen.setdefault(pop.config.name, pop.config)
+            if known != pop.config:
+                raise ValueError(
+                    "two different memory organizations share the name "
+                    f"{pop.config.name!r}"
+                )
 
     @property
     def total_channels(self) -> int:
         """Fleet size across every slice."""
         return sum(pop.channels for pop in self.populations)
+
+    def organizations(self) -> Tuple[MemoryConfig, ...]:
+        """Distinct memory organizations, in first-appearance order.
+
+        Organization names are unique within a scenario (validated at
+        construction), so the result is usable as a keyed set — the
+        measured-overhead bridge plans one measurement per entry.
+        """
+        seen: Dict[str, MemoryConfig] = {}
+        for pop in self.populations:
+            seen.setdefault(pop.config.name, pop.config)
+        return tuple(seen.values())
 
     @property
     def max_years(self) -> int:

@@ -23,6 +23,8 @@ Figure 7.4/7.5 lifetime averages are composed.
 from repro.perf.engine import (
     BatchedTraceSimulator,
     SweepPoint,
+    arcc_capable,
+    mix_write_fraction_job,
     replay,
     simulate_point_job,
     sweep,
@@ -43,7 +45,9 @@ __all__ = [
     "SweepPoint",
     "TraceBatch",
     "TraceSimulator",
+    "arcc_capable",
     "materialize_mix",
+    "mix_write_fraction_job",
     "page_is_upgraded",
     "replay",
     "simulate_point_job",

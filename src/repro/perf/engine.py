@@ -126,6 +126,23 @@ def decode_lines(
     return channel, rank, bank
 
 
+def arcc_capable(config: MemoryConfig) -> bool:
+    """Whether an organization can run upgraded (paired) pages.
+
+    Sub-lines of an upgraded line live on the two sides of ``addr ^ 1``,
+    and every mapping policy takes the channel from the bottom of the
+    address, so pairing needs at least two channels. Custom organizations
+    from scenario files are screened with this before any measured-
+    overhead trace job is planned for them.
+
+    Examples
+    --------
+    >>> arcc_capable(ARCC_MEMORY_CONFIG)
+    True
+    """
+    return config.channels >= 2
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One (organization, upgraded fraction) configuration to replay."""
@@ -137,7 +154,7 @@ class SweepPoint:
     def resolved_arcc(self) -> bool:
         """ARCC pairing on/off (defaults to multi-channel configs)."""
         if self.arcc_enabled is None:
-            return self.config.channels >= 2
+            return arcc_capable(self.config)
         return self.arcc_enabled
 
 
@@ -795,11 +812,35 @@ def simulate_point_job(
     }
 
 
+def mix_write_fraction_job(
+    mix: WorkloadMix,
+    instructions_per_core: int,
+    seed: int,
+) -> Dict[str, float]:
+    """Picklable runner job: one mix's demand read/write balance.
+
+    The measured-overhead bridge (:mod:`repro.fleet.measured`) scales
+    LOT-ECC's extra-checksum-operation arithmetic by each mix's *actual*
+    read/write split instead of the 100%-read worst case; the split is a
+    property of the materialized trace alone, so this job is organization
+    independent (and nearly free — materialization is memoized).
+    """
+    batch = materialize_mix(mix, seed, instructions_per_core)
+    accesses = len(batch.write_flags)
+    writes = float(batch.write_flags.sum())
+    return {
+        "accesses": float(accesses),
+        "write_fraction": (writes / accesses if accesses else 0.0),
+    }
+
+
 __all__ = [
     "BatchedTraceSimulator",
     "SweepPoint",
+    "arcc_capable",
     "clear_engine_memos",
     "decode_lines",
+    "mix_write_fraction_job",
     "page_is_upgraded",
     "replay",
     "simulate_point_job",

@@ -24,7 +24,11 @@ from repro.experiments import (
     render_table_7_3,
     render_table_7_4,
 )
-from repro.fleet import plan_fleet, plan_fleet_compare
+from repro.fleet import (
+    plan_fleet,
+    plan_fleet_compare,
+    plan_fleet_compare_measured,
+)
 from repro.runner.job import ExperimentPlan
 from repro.workloads.spec import ALL_MIXES
 
@@ -148,6 +152,24 @@ FIGURES: Dict[str, FigureSpec] = {
             plan_fleet_compare,
             defaults={"scenario": "mixed-generations", "channels": 100_000},
             quick={"scenario": "mixed-generations", "channels": 4_000},
+        ),
+        # The plan's jobs are the trace-measurement points (shared with
+        # fig7.1/fig7.2/sensitivity through the cache); the vectorized
+        # comparison runs inline at assembly with the measured weights.
+        FigureSpec(
+            "fleet-compare-measured",
+            "Fleet policy comparison with measured per-fault weights",
+            plan_fleet_compare_measured,
+            defaults={
+                "scenario": "mixed-generations",
+                "channels": 20_000,
+                "instructions_per_core": 40_000,
+            },
+            quick={
+                "scenario": "mixed-generations",
+                "channels": 2_000,
+                "instructions_per_core": 10_000,
+            },
         ),
     )
 }

@@ -23,6 +23,11 @@ def parity(value: int) -> int:
     return bit_count(value) & 1
 
 
+def is_power_of_two(value: int) -> bool:
+    """Whether ``value`` is a positive power of two."""
+    return value > 0 and value & (value - 1) == 0
+
+
 def extract_bits(value: int, lo: int, width: int) -> int:
     """Return ``width`` bits of ``value`` starting at bit ``lo`` (LSB=0)."""
     if lo < 0 or width < 0:

@@ -31,6 +31,7 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 DOCTEST_MODULES = (
     "repro.fleet.scenarios",
     "repro.fleet.events",
+    "repro.fleet.measured",
     "repro.fleet.report",
     "repro.fleet.policies",
     "repro.fleet.scenario_file",

@@ -1,0 +1,468 @@
+"""Tests for the perf -> fleet measured-overhead bridge.
+
+The load-bearing guarantees: measured weights are bounded by the
+worst-case arithmetic (the Figure 7.6 oracle) per fault class; the
+same measurement serves ``fig7.4 --measured`` and ``fleet --measured``
+through one process memo and shared cache keys; profiles parameterize
+the policy comparison per (policy, organization) with the reliability
+models untouched; and the whole pipeline — including the CLI over a
+custom-organizations scenario file — is bit-identical at any worker
+count and across a warm cache.
+"""
+
+import pytest
+
+from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG
+from repro.core.lotecc_arcc import WORST_CASE_UPGRADE_FACTOR
+from repro.faults.types import FaultType
+from repro.fleet import (
+    FleetScenario,
+    MeasuredOverheadProfile,
+    SubPopulation,
+    clear_measured_memo,
+    measure_scenario_profiles,
+    measured_policy,
+    plan_fleet_compare,
+    plan_measured_profiles,
+    resolve_policies,
+    run_fleet_compare,
+    run_measured_profiles,
+)
+from repro.fleet.measured import _lotecc_factor
+from repro.runner import ResultCache, execute_plan
+from repro.workloads.spec import ALL_MIXES
+
+MIXES = ALL_MIXES[:3]
+INSTRUCTIONS = 4_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Each test starts without per-process measurement memos."""
+    clear_measured_memo()
+    yield
+    clear_measured_memo()
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    clear_measured_memo()
+    return run_measured_profiles(
+        policies=("arcc", "sccdcd", "lotecc"),
+        organizations=(ARCC_MEMORY_CONFIG,),
+        mixes=MIXES,
+        instructions_per_core=INSTRUCTIONS,
+    )
+
+
+class TestProfileReduction:
+    def test_profiles_keyed_by_policy_and_organization(self, profiles):
+        assert set(profiles) == {
+            ("arcc", "ARCC"),
+            ("sccdcd", "ARCC"),
+            ("lotecc", "ARCC"),
+        }
+
+    def test_measured_below_worst_case_per_class(self, profiles):
+        """The satellite ordering: measured <= worst-case cap, per class."""
+        for profile in profiles.values():
+            profile.validate_bounds()
+            for ft, (mean, half) in profile.power.items():
+                assert 0.0 <= mean <= profile.worst_case_power[ft]
+                assert half >= 0.0
+            for ft, (mean, half) in profile.performance.items():
+                assert 0.0 <= mean <= profile.worst_case_performance[ft]
+
+    def test_measured_weights_strictly_beat_worst_case(self, profiles):
+        """Locality is real: the lane-class saving is substantial, not a
+        rounding artifact (the paper's Figure 7.2/7.3 claim)."""
+        arcc = profiles[("arcc", "ARCC")]
+        lane_mean = arcc.power[FaultType.LANE][0]
+        assert lane_mean < 0.8 * arcc.worst_case_power[FaultType.LANE]
+        lot = profiles[("lotecc", "ARCC")]
+        assert lot.power[FaultType.LANE][0] < 0.8 * lot.worst_case_power[
+            FaultType.LANE
+        ]
+
+    def test_sccdcd_premium_is_arcc_lane_measurement(self, profiles):
+        arcc = profiles[("arcc", "ARCC")]
+        sccdcd = profiles[("sccdcd", "ARCC")]
+        assert sccdcd.static_power == arcc.power[FaultType.LANE]
+        assert not sccdcd.power  # nothing accrues per fault
+        assert sccdcd.validate_bounds() is None
+
+    def test_lotecc_factor_brackets(self):
+        """All-reads recovers the worst case; writes soften it down to
+        2x (both modes already pay the checksum write)."""
+        assert _lotecc_factor(0.0) == pytest.approx(
+            WORST_CASE_UPGRADE_FACTOR
+        )
+        assert _lotecc_factor(1.0) == pytest.approx(2.0)
+        for w in (0.1, 0.3, 0.7):
+            assert 2.0 < _lotecc_factor(w) < WORST_CASE_UPGRADE_FACTOR
+
+    def test_caps_are_the_measured_saturation(self, profiles):
+        arcc = profiles[("arcc", "ARCC")]
+        assert arcc.power_cap == max(m for m, _ in arcc.power.values())
+        assert arcc.performance_cap == max(
+            m for m, _ in arcc.performance.values()
+        )
+
+    def test_single_channel_organization_rejected(self):
+        import dataclasses
+
+        one = dataclasses.replace(
+            ARCC_MEMORY_CONFIG, name="one-ch", channels=1
+        )
+        with pytest.raises(ValueError, match="ARCC pairing"):
+            plan_measured_profiles(organizations=(one,))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            plan_measured_profiles(policies=("secded",))
+
+
+class TestDeterminismAndCaching:
+    def test_jobs_1_vs_4_identical(self):
+        kwargs = dict(
+            policies=("arcc", "lotecc"),
+            organizations=(ARCC_MEMORY_CONFIG,),
+            mixes=MIXES,
+            instructions_per_core=INSTRUCTIONS,
+        )
+        a = run_measured_profiles(jobs=1, **kwargs)
+        clear_measured_memo()
+        b = run_measured_profiles(jobs=4, **kwargs)
+        assert a == b
+
+    def test_warm_cache_equals_cold_run(self, tmp_path):
+        """The memoization satellite's regression: a second process-or-
+        cache-mediated measurement reproduces the first exactly."""
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(
+            policies=("arcc", "sccdcd", "lotecc"),
+            organizations=(ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG),
+            mixes=MIXES,
+            instructions_per_core=INSTRUCTIONS,
+        )
+        cold = run_measured_profiles(cache=cache, **kwargs)
+        assert list((tmp_path / "cache").glob("*.pkl"))
+        clear_measured_memo()
+        warm = run_measured_profiles(cache=cache, **kwargs)
+        assert cold == warm
+
+    def test_process_memo_returns_same_object(self):
+        kwargs = dict(
+            policies=("arcc",),
+            organizations=(ARCC_MEMORY_CONFIG,),
+            mixes=MIXES[:1],
+            instructions_per_core=2_000,
+        )
+        first = run_measured_profiles(**kwargs)
+        assert run_measured_profiles(**kwargs) is first
+
+    def test_measurement_jobs_share_cache_keys_with_fig7_2(self):
+        """`fig7.4 --measured` and `fleet --measured` run through one
+        cached computation: every fig7.2/7.3 point's cache key appears
+        among the bridge's measurement jobs (names differ, keys agree)."""
+        from repro.experiments.fig7_2_7_3 import plan_fig7_2_7_3
+
+        cache = ResultCache("unused", version="pinned")
+        bridge = plan_measured_profiles(
+            policies=("arcc", "sccdcd", "lotecc"),
+            organizations=(ARCC_MEMORY_CONFIG,),
+            mixes=MIXES,
+            instructions_per_core=INSTRUCTIONS,
+        )
+        fig = plan_fig7_2_7_3(
+            mixes=MIXES, instructions_per_core=INSTRUCTIONS
+        )
+        bridge_keys = {cache.key(job) for job in bridge.jobs}
+        fig_keys = {cache.key(job) for job in fig.jobs}
+        assert fig_keys <= bridge_keys
+
+    def test_measured_overheads_delegates_to_bridge_memo(self):
+        from repro.experiments.fig7_4_7_5 import measured_overheads
+
+        first = measured_overheads(
+            mixes=MIXES[:1], instructions_per_core=2_000
+        )
+        assert measured_overheads(
+            mixes=MIXES[:1], instructions_per_core=2_000
+        ) is first
+        assert set(first) == {
+            FaultType.LANE,
+            FaultType.DEVICE,
+            FaultType.BANK,
+            FaultType.COLUMN,
+        }
+
+
+class TestMeasuredPolicies:
+    def test_measured_policy_swaps_costs_not_reliability(self, profiles):
+        base = resolve_policies(("lotecc",))[0]
+        measured = measured_policy(base, profiles[("lotecc", "ARCC")])
+        assert measured.sdc_model == base.sdc_model
+        assert measured.due_window == base.due_window
+        assert measured.correction_window == base.correction_window
+        assert measured.per_fault_power != base.per_fault_power
+        assert measured.power_cap < base.power_cap
+        assert "[measured]" in measured.title
+
+    def test_mismatched_profile_rejected(self, profiles):
+        base = resolve_policies(("arcc",))[0]
+        with pytest.raises(ValueError, match="cannot parameterize"):
+            measured_policy(base, profiles[("lotecc", "ARCC")])
+
+    def test_plan_requires_profile_per_organization(self, profiles):
+        scenario = FleetScenario(
+            name="mixed-orgs",
+            description="",
+            populations=(
+                SubPopulation(name="a", channels=64),
+                SubPopulation(
+                    name="b", channels=64, config=BASELINE_MEMORY_CONFIG
+                ),
+            ),
+        )
+        with pytest.raises(KeyError, match="Baseline-SCCDCD"):
+            plan_fleet_compare(
+                scenario, policies=("arcc",), profiles=profiles
+            )
+
+
+class TestMeasuredComparison:
+    @pytest.fixture(scope="class")
+    def report(self):
+        clear_measured_memo()
+        profiles = measure_scenario_profiles(
+            "steady",
+            policies=("arcc", "sccdcd", "lotecc"),
+            mixes=MIXES,
+            instructions_per_core=INSTRUCTIONS,
+        )
+        return run_fleet_compare(
+            "steady", channels=400, seed=3, profiles=profiles
+        )
+
+    def test_report_carries_profiles(self, report):
+        assert report.profiles is not None
+        assert {(p.policy, p.organization) for p in report.profiles} == {
+            ("arcc", "ARCC"),
+            ("sccdcd", "ARCC"),
+            ("lotecc", "ARCC"),
+        }
+
+    def test_table_shows_measured_weights_with_cis(self, report):
+        table = report.to_table()
+        assert "Measured per-fault weights" in table
+        assert "±" in table
+        assert "lotecc" in table
+        assert "Worst case" in table
+
+    def test_lotecc_measured_beats_its_worst_case_scoring(self, report):
+        """The headline: with measured weights, adaptive LOT-ECC stays
+        far below SCCDCD's constant premium."""
+        lot = report.fleet_summary("lotecc")
+        sccdcd = report.fleet_summary("sccdcd")
+        assert lot.power_overhead[0] < sccdcd.power_overhead[0] / 5
+        assert report.best_by("due") == "lotecc"
+
+    def test_measured_run_matches_worst_case_reliability(self, report):
+        """Measurement changes costs, never SDC/DUE physics."""
+        worst = run_fleet_compare("steady", channels=400, seed=3)
+        for policy in ("arcc", "sccdcd", "lotecc"):
+            a = report.fleet_summary(policy)
+            b = worst.fleet_summary(policy)
+            assert a.sdc_events_per_year == b.sdc_events_per_year
+            assert a.due_events_per_year == b.due_events_per_year
+
+    def test_lotecc_measured_at_most_worst_case_scoring(self, report):
+        """LOT-ECC's fallback really is the Figure 7.6 worst case, and
+        measured weights are clamped to it per class, so its measured
+        fleet overhead can never exceed the worst-case scoring. (No such
+        structural bound exists for arcc/sccdcd — their fallback weights
+        are themselves measurements recorded at another trace scale.)"""
+        worst = run_fleet_compare("steady", channels=400, seed=3)
+        assert (
+            report.fleet_summary("lotecc").power_overhead[0]
+            <= worst.fleet_summary("lotecc").power_overhead[0] + 1e-12
+        )
+        assert (
+            report.fleet_summary("lotecc").performance_overhead[0]
+            <= worst.fleet_summary("lotecc").performance_overhead[0] + 1e-12
+        )
+
+    def test_end_to_end_measured_flag_jobs_1_vs_4(self):
+        kwargs = dict(
+            scenario="steady",
+            channels=300,
+            seed=5,
+            policies=("arcc", "lotecc"),
+            measured=True,
+            measured_instructions_per_core=2_000,
+        )
+        a = run_fleet_compare(jobs=1, **kwargs)
+        clear_measured_memo()
+        b = run_fleet_compare(jobs=4, **kwargs)
+        assert [vars(s) for s in a.slices] == [vars(s) for s in b.slices]
+        assert [vars(s) for s in a.fleet] == [vars(s) for s in b.fleet]
+        assert a.profiles == b.profiles
+
+
+class TestRegistryAndCli:
+    def test_registry_exposes_fleet_compare_measured(self):
+        from repro.runner.registry import FIGURES, build_plans
+
+        assert "fleet-compare-measured" in FIGURES
+        (plan,) = build_plans(["fleet-compare-measured"], quick=True)
+        assert plan.name == "fleet-compare-measured"
+        assert plan.jobs  # the measurement points
+
+    def test_registry_plan_executes_to_measured_report(self):
+        from repro.fleet import plan_fleet_compare_measured
+
+        plan = plan_fleet_compare_measured(
+            "steady",
+            policies=("arcc", "lotecc"),
+            channels=300,
+            instructions_per_core=2_000,
+        )
+        report = execute_plan(plan)
+        assert report.profiles
+        assert "Measured per-fault weights" in report.to_table()
+
+    def test_cli_measured_requires_policies(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="requires --policies"):
+            main(["fleet", "steady", "--measured"])
+
+    def test_cli_measured_custom_orgs_bit_identical_across_jobs(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The acceptance criterion: a scenario file with custom
+        [organizations], --policies --measured, --jobs 1 == --jobs 4."""
+        from pathlib import Path
+
+        from repro.cli import main
+
+        scenario = (
+            Path(__file__).resolve().parent.parent
+            / "examples"
+            / "scenarios"
+            / "custom_organizations.toml"
+        )
+        monkeypatch.chdir(tmp_path)  # keep .repro-cache out of the repo
+        outputs = []
+        for jobs in ("1", "4"):
+            clear_measured_memo()
+            code = main(
+                [
+                    "fleet",
+                    "--scenario-file",
+                    str(scenario),
+                    "--policies",
+                    "arcc,sccdcd,lotecc",
+                    "--measured",
+                    "--channels",
+                    "300",
+                    "--jobs",
+                    jobs,
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        strip = [
+            "\n".join(
+                line
+                for line in out.splitlines()
+                if not line.startswith("[repro fleet]")
+            )
+            for out in outputs
+        ]
+        assert strip[0] == strip[1]
+        assert "Measured per-fault weights" in strip[0]
+        assert "quad-x8" in strip[0]
+        assert "(measured weights)" in outputs[0]
+
+    def test_cli_measured_rejects_single_channel_org(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "one.toml"
+        path.write_text(
+            """
+name = "one"
+[organizations.solo]
+io_width = 8
+channels = 1
+ranks_per_channel = 2
+devices_per_rank = 18
+data_devices_per_rank = 16
+[[populations]]
+name = "a"
+channels = 64
+config = "solo"
+"""
+        )
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit, match="ARCC pairing"):
+            main(
+                [
+                    "fleet",
+                    "--scenario-file",
+                    str(path),
+                    "--policies",
+                    "arcc",
+                    "--measured",
+                ]
+            )
+
+
+class TestProfilesOverCustomOrganizations:
+    def test_per_organization_fractions_flow_into_weights(self):
+        """A tri-rank organization's device class upgrades 1/3 of pages,
+        so its worst-case bound (and the measured clamp) follows."""
+        import dataclasses
+
+        tri = dataclasses.replace(
+            BASELINE_MEMORY_CONFIG, name="tri-rank-x4", ranks_per_channel=3
+        )
+        profiles = run_measured_profiles(
+            policies=("arcc",),
+            organizations=(tri,),
+            mixes=MIXES[:1],
+            instructions_per_core=2_000,
+        )
+        profile = profiles[("arcc", "tri-rank-x4")]
+        assert profile.worst_case_power[FaultType.DEVICE] == pytest.approx(
+            1.0 / 3.0
+        )
+        profile.validate_bounds()
+
+    def test_validate_bounds_catches_violations(self):
+        profile = MeasuredOverheadProfile(
+            policy="arcc",
+            organization="ARCC",
+            power={FaultType.LANE: (1.5, 0.0)},
+            performance={},
+            worst_case_power={FaultType.LANE: 1.0},
+            worst_case_performance={},
+        )
+        with pytest.raises(ValueError, match="exceeds the worst-case"):
+            profile.validate_bounds()
+
+
+def test_exposure_report_names_organizations():
+    """The fleet exposure summary now says which organization each
+    slice runs (custom organizations are first-class everywhere)."""
+    from repro.fleet import run_fleet
+
+    report = run_fleet("mixed-generations", channels=300, seed=1)
+    assert {r.organization for r in report.subpopulations} == {
+        "ARCC",
+        "Baseline-SCCDCD",
+    }
+    assert "Organization" in report.to_table()

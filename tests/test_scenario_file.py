@@ -162,7 +162,8 @@ class TestRoundTrip:
         again = load_scenario_file(dumped)
         assert again == first
 
-    def test_unnamed_config_not_dumpable(self):
+    def test_custom_config_dumps_as_organization_table(self):
+        """A non-Table-7.1 config round-trips via ``organizations``."""
         from dataclasses import replace
 
         custom = replace(ARCC_MEMORY_CONFIG, name="custom", channels=4)
@@ -173,7 +174,27 @@ class TestRoundTrip:
                 SubPopulation(name="a", channels=1, config=custom),
             ),
         )
-        with pytest.raises(ScenarioFileError, match="no file-format name"):
+        mapping = scenario_to_mapping(scenario)
+        assert mapping["organizations"]["custom"]["channels"] == 4
+        assert mapping["populations"][0]["config"] == "custom"
+        again = scenario_from_mapping(mapping)
+        assert again.scenario == scenario
+        assert again.organizations == (custom,)
+
+    def test_custom_config_shadowing_builtin_name_not_dumpable(self):
+        from dataclasses import replace
+
+        # Same *name* as a built-in but a different table: ambiguous in
+        # the file format, so the dump refuses.
+        impostor = replace(ARCC_MEMORY_CONFIG, name="arcc", channels=4)
+        scenario = FleetScenario(
+            name="x",
+            description="",
+            populations=(
+                SubPopulation(name="a", channels=1, config=impostor),
+            ),
+        )
+        with pytest.raises(ScenarioFileError, match="shadows a built-in"):
             scenario_to_mapping(scenario)
 
 
@@ -360,3 +381,290 @@ class TestCLI:
         path.write_text('name = "x"\n')
         with pytest.raises(SystemExit, match="missing required key"):
             main(["fleet", "--scenario-file", str(path)])
+
+
+ORGS_TOML = """
+name = "orgs"
+description = "custom organization tables"
+
+[organizations.quad-x8]
+io_width = 8
+channels = 4
+ranks_per_channel = 2
+devices_per_rank = 18
+data_devices_per_rank = 16
+
+[organizations.tri-rank-x4]
+io_width = 4
+channels = 2
+ranks_per_channel = 3
+devices_per_rank = 36
+data_devices_per_rank = 32
+
+[[populations]]
+name = "quad"
+channels = 64
+config = "quad-x8"
+
+[[populations]]
+name = "tri"
+channels = 32
+config = "tri-rank-x4"
+"""
+
+
+def _orgs_mapping():
+    import tomllib
+
+    return tomllib.loads(ORGS_TOML)
+
+
+class TestOrganizationSection:
+    def test_load_builds_custom_configs(self):
+        spec = scenario_from_mapping(_orgs_mapping())
+        quad, tri = spec.organizations
+        assert (quad.name, quad.channels, quad.io_width) == ("quad-x8", 4, 8)
+        assert (tri.ranks_per_channel, tri.devices_per_rank) == (3, 36)
+        by_slice = {p.name: p.config for p in spec.scenario.populations}
+        assert by_slice["quad"] is quad
+        assert by_slice["tri"] is tri
+        # Optional geometry keeps the MemoryConfig defaults.
+        assert quad.page_bytes == 4096
+        assert quad.banks_per_device == 8
+
+    def test_population_may_mix_builtin_and_custom(self):
+        raw = _orgs_mapping()
+        raw["populations"].append(
+            {"name": "stock", "channels": 16, "config": "arcc"}
+        )
+        spec = scenario_from_mapping(raw)
+        assert {p.config.name for p in spec.scenario.populations} == {
+            "quad-x8",
+            "tri-rank-x4",
+            "ARCC",
+        }
+
+    def test_unknown_org_field_suggests(self):
+        raw = _orgs_mapping()
+        raw["organizations"]["quad-x8"]["io_widht"] = 8
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"organizations\.quad-x8\.io_widht.*did you mean 'io_width'",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_missing_required_org_key_names_path(self):
+        raw = _orgs_mapping()
+        del raw["organizations"]["quad-x8"]["devices_per_rank"]
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"organizations\.quad-x8: missing required key "
+            r"'devices_per_rank'",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_unsupported_io_width_rejected(self):
+        raw = _orgs_mapping()
+        raw["organizations"]["quad-x8"]["io_width"] = 16
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"organizations\.quad-x8\.io_width.*x16.*supported: 4, 8",
+        ):
+            scenario_from_mapping(raw)
+
+    @pytest.mark.parametrize("key", ["page_bytes", "cacheline_bytes"])
+    def test_non_power_of_two_rejected(self, key):
+        raw = _orgs_mapping()
+        raw["organizations"]["quad-x8"][key] = 3000
+        with pytest.raises(
+            ScenarioFileError,
+            match=rf"organizations\.quad-x8\.{key}.*power of two",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_page_not_multiple_of_line_rejected(self):
+        raw = _orgs_mapping()
+        raw["organizations"]["quad-x8"]["cacheline_bytes"] = 64
+        raw["organizations"]["quad-x8"]["page_bytes"] = 32
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"organizations\.quad-x8\.page_bytes.*multiple of",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_capacity_not_multiple_of_page_rejected(self):
+        raw = _orgs_mapping()
+        raw["organizations"]["quad-x8"]["capacity_per_channel_bytes"] = 4097
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"capacity_per_channel_bytes.*multiple of page_bytes",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_all_data_devices_rejected_with_path(self):
+        raw = _orgs_mapping()
+        raw["organizations"]["quad-x8"]["data_devices_per_rank"] = 18
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"organizations\.quad-x8: .*redundant device",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_unreferenced_org_rejected(self):
+        """An unused table cannot round-trip (dumps emit only referenced
+        organizations), so the loader rejects it up front."""
+        raw = _orgs_mapping()
+        raw["organizations"]["spare"] = dict(
+            raw["organizations"]["quad-x8"]
+        )
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"organizations\.spare.*not referenced by any population",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_org_shadowing_builtin_rejected(self):
+        raw = _orgs_mapping()
+        raw["organizations"]["arcc"] = raw["organizations"].pop("quad-x8")
+        with pytest.raises(
+            ScenarioFileError, match=r"organizations\.arcc.*shadows a built-in"
+        ):
+            scenario_from_mapping(raw)
+
+    def test_population_config_suggests_over_custom_names(self):
+        raw = _orgs_mapping()
+        raw["populations"][0]["config"] = "quad-x9"
+        with pytest.raises(
+            ScenarioFileError,
+            match=r"populations\[0\]\.config.*did you mean 'quad-x8'",
+        ):
+            scenario_from_mapping(raw)
+
+    def test_round_trip_with_custom_orgs_exact(self, tmp_path):
+        path = tmp_path / "orgs.toml"
+        path.write_text(ORGS_TOML)
+        first = load_scenario_file(path)
+        dumped = tmp_path / "orgs.json"
+        dump_scenario_json(first.scenario, dumped)
+        again = load_scenario_file(dumped)
+        assert again.scenario == first.scenario
+        assert again.organizations == first.organizations
+
+    def test_shipped_custom_organizations_example_is_valid(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "examples"
+            / "scenarios"
+            / "custom_organizations.toml"
+        )
+        spec = load_scenario_file(path)
+        assert {c.name for c in spec.organizations} == {
+            "quad-x8",
+            "tri-rank-x4",
+        }
+        assert spec.policies == ("arcc", "sccdcd", "lotecc")
+        # Round-trips through the dump format too.
+        mapping = scenario_to_mapping(spec.scenario)
+        assert scenario_from_mapping(mapping).scenario == spec.scenario
+
+
+class TestOrganizationProperties:
+    """Hypothesis sweeps over the organization-table schema."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    org_tables = st.fixed_dictionaries(
+        {
+            "io_width": st.sampled_from([4, 8]),
+            "channels": st.integers(min_value=1, max_value=8),
+            "ranks_per_channel": st.integers(min_value=1, max_value=5),
+            "devices_per_rank": st.integers(min_value=2, max_value=40),
+            "banks_per_device": st.integers(min_value=1, max_value=16),
+            "pages_per_row": st.integers(min_value=1, max_value=4),
+            "page_bytes": st.sampled_from([1024, 2048, 4096, 8192]),
+            "cacheline_bytes": st.sampled_from([32, 64, 128]),
+        }
+    )
+
+    @settings(max_examples=25, deadline=None)
+    @given(table=org_tables, data=st.data())
+    def test_valid_tables_round_trip_exactly(self, table, data):
+        table = dict(table)
+        table["data_devices_per_rank"] = data.draw(
+            self.st.integers(
+                min_value=1, max_value=table["devices_per_rank"] - 1
+            )
+        )
+        if table["page_bytes"] % table["cacheline_bytes"]:
+            table["cacheline_bytes"] = 64
+        table["capacity_per_channel_bytes"] = table["page_bytes"] * data.draw(
+            self.st.integers(min_value=1, max_value=1 << 20)
+        )
+        raw = {
+            "name": "prop",
+            "description": "",
+            "organizations": {"custom": table},
+            "populations": [
+                {"name": "only", "channels": 8, "config": "custom"}
+            ],
+        }
+        spec = scenario_from_mapping(raw)
+        mapping = scenario_to_mapping(spec.scenario)
+        assert scenario_from_mapping(mapping).scenario == spec.scenario
+        (config,) = spec.organizations
+        for key, value in table.items():
+            assert getattr(config, key) == value
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_invalid_tables_rejected_with_dotted_path(self, data):
+        base = {
+            "io_width": 8,
+            "channels": 2,
+            "ranks_per_channel": 2,
+            "devices_per_rank": 18,
+            "data_devices_per_rank": 16,
+        }
+        mutation = data.draw(
+            self.st.sampled_from(
+                [
+                    ("io_width", 16),
+                    ("io_width", 0),
+                    ("channels", 0),
+                    ("devices_per_rank", "many"),
+                    ("page_bytes", 1000),
+                    ("cacheline_bytes", 48),
+                    ("data_devices_per_rank", 18),
+                    ("data_devices_per_rank", 19),
+                ]
+            )
+        )
+        key, value = mutation
+        table = dict(base)
+        table[key] = value
+        raw = {
+            "name": "prop",
+            "organizations": {"bad": table},
+            "populations": [
+                {"name": "only", "channels": 8, "config": "bad"}
+            ],
+        }
+        with pytest.raises(ScenarioFileError, match=r"organizations\.bad"):
+            scenario_from_mapping(raw)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from(
+            ["quad", "quadx8", "quad_x8", "tri-rank", "trirankx4"]
+        )
+    )
+    def test_typoed_config_reference_always_names_the_path(self, typo):
+        raw = _orgs_mapping()
+        raw["populations"][0]["config"] = typo
+        with pytest.raises(
+            ScenarioFileError, match=r"populations\[0\]\.config"
+        ):
+            scenario_from_mapping(raw)
