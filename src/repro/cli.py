@@ -17,6 +17,9 @@ Subcommands (one per reproducible artifact; see ``docs/user-guide.md``)::
     python -m repro all [--quick] [--jobs J]
     python -m repro run [figure ...] [--jobs J] [--quick]
                         [--cache-dir D] [--no-cache]
+    python -m repro fuzz [--seed N] [--count K] [--oracles O1,O2,...]
+                         [--quick] [--jobs J] [--report-dir D]
+                         [--no-shrink] [--replay FILE] [--list]
 
 ``run`` is the parallel front door: it flattens every selected figure's
 jobs into one batch, fans them out across ``--jobs`` worker processes,
@@ -55,6 +58,17 @@ bridge of :mod:`repro.fleet.measured`, cache-shared with ``fig7.4
 --measured``); ``--channels`` rescales whole fleets, so 10^5-10^6
 channel populations are practical; ``--seed`` repoints every derived
 RNG stream.
+
+``fuzz`` runs a seeded differential campaign (:mod:`repro.fuzz`): it
+samples ``--count`` random valid scenarios — each a pure function of
+(``--seed``, index) — and checks every registered fast engine against
+its exact oracle (``--list`` names the pairs; ``--oracles`` restricts
+them). Divergent cases are greedily minimized and written to
+``--report-dir`` as self-contained JSON repro files (``--no-shrink``
+skips that) which ``--replay FILE`` re-executes; the exit status is 1
+while a divergence reproduces and 0 once it is fixed. ``--quick``
+shrinks case sizes for smoke campaigns; ``--jobs N`` fans cases out
+bit-identically to ``--jobs 1``. See ``docs/fuzzing.md``.
 """
 
 from __future__ import annotations
@@ -386,6 +400,60 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(f"[repro run] figures: {', '.join(FIGURES)}")
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    # Deferred import: the fuzz registry touches every engine module.
+    from repro.fuzz import (
+        ORACLE_PAIRS,
+        replay_repro_file,
+        resolve_oracles,
+        run_campaign,
+    )
+
+    if args.list:
+        for pair in ORACLE_PAIRS.values():
+            print(f"{pair.key:<16} {pair.guarantee:<13} {pair.title}")
+            print(f"{'':<16} standing hook: {pair.hook}")
+        return 0
+
+    if args.replay:
+        try:
+            detail = replay_repro_file(args.replay)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro fuzz: {exc}") from exc
+        if detail is None:
+            print(f"{args.replay}: no divergence (fixed)")
+            return 0
+        print(f"{args.replay}: still diverges: {detail}")
+        return 1
+
+    oracles = None
+    if args.oracles:
+        oracles = [o.strip() for o in args.oracles.split(",") if o.strip()]
+    try:
+        resolve_oracles(oracles)
+    except KeyError as exc:
+        raise SystemExit(f"repro fuzz: {exc.args[0]}") from exc
+
+    started = time.perf_counter()
+    report = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        oracles=oracles,
+        quick=args.quick,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        report_dir=args.report_dir,
+    )
+    elapsed = time.perf_counter() - started
+    print(report.to_table())
+    print(
+        f"[repro fuzz] {report.count} case(s), "
+        f"{len(report.divergences)} divergence(s), "
+        f"--jobs {args.jobs}, {elapsed:.1f}s"
+    )
+    return 0 if report.ok else 1
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -538,6 +606,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing of every engine vs its oracle",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (case i derives "
+        "its own seed from it; default 0)"
+    )
+    p.add_argument(
+        "--count", type=int, default=100, help="number of cases to sample"
+    )
+    p.add_argument(
+        "--oracles",
+        default=None,
+        metavar="O1,O2,...",
+        help="restrict to these oracle pairs (see --list); default: all",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller case sizes for smoke campaigns",
+    )
+    p.add_argument(
+        "--report-dir",
+        default=None,
+        metavar="DIR",
+        help="write minimized divergence repro files here",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report divergences without minimizing them",
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-execute one repro file instead of running a campaign",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="describe registered oracle pairs, then exit",
+    )
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_fuzz)
     return parser
 
 
@@ -545,8 +660,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    status = args.func(args)
+    return 0 if status is None else int(status)
 
 
 if __name__ == "__main__":

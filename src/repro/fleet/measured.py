@@ -215,8 +215,13 @@ def _class_samples(
 def _check_policies(policies: Sequence[str]) -> Tuple[str, ...]:
     unknown = [key for key in policies if key not in POLICY_FAULT_CLASSES]
     if unknown:
-        known = ", ".join(POLICY_FAULT_CLASSES)
-        raise KeyError(f"unknown policy key(s) {unknown}; known: {known}")
+        from repro.util.suggest import unknown_key_message
+
+        raise KeyError(
+            unknown_key_message(
+                "policy key", unknown[0], POLICY_FAULT_CLASSES
+            )
+        )
     return tuple(dict.fromkeys(policies))
 
 

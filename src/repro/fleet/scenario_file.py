@@ -261,6 +261,29 @@ def _parse_organization(name: str, raw: Any, path: str) -> MemoryConfig:
         raise _fail(path, str(exc)) from exc
 
 
+def organization_from_mapping(
+    name: str, table: Mapping[str, Any], path: str = "organizations"
+) -> MemoryConfig:
+    """One organization table -> :class:`MemoryConfig` (public hook).
+
+    The same validation the scenario-file loader applies to an
+    ``[organizations.<name>]`` table — required keys, supported I/O
+    widths, power-of-two line/page sizes, divisibility. The fuzz
+    sampler (:mod:`repro.fuzz.sampler`) builds its random organizations
+    through this function so a sampled case can never be schema-invalid.
+
+    Examples
+    --------
+    >>> config = organization_from_mapping("tiny-x8", {
+    ...     "io_width": 8, "channels": 3, "ranks_per_channel": 1,
+    ...     "devices_per_rank": 9, "data_devices_per_rank": 8,
+    ... })
+    >>> (config.channels, config.check_devices_per_rank)
+    (3, 1)
+    """
+    return _parse_organization(name, table, f"{path}.{name}")
+
+
 def _parse_organizations(raw: Any, path: str) -> Dict[str, MemoryConfig]:
     if not isinstance(raw, Mapping):
         raise _fail(

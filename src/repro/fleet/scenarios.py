@@ -286,6 +286,9 @@ def resolve_scenario(scenario: "FleetScenario | str") -> FleetScenario:
     if isinstance(scenario, FleetScenario):
         return scenario
     if scenario not in DEFAULT_SCENARIOS:
-        known = ", ".join(DEFAULT_SCENARIOS)
-        raise KeyError(f"unknown scenario {scenario!r}; known: {known}")
+        from repro.util.suggest import unknown_key_message
+
+        raise KeyError(
+            unknown_key_message("scenario", scenario, DEFAULT_SCENARIOS)
+        )
     return DEFAULT_SCENARIOS[scenario]

@@ -1,0 +1,560 @@
+"""The differential-oracle registry: every fast engine and its oracle.
+
+Each batched/vectorized engine in the repo ships with a slower exact
+reference it must agree with. This module puts every such pair behind
+one interface — an :class:`OraclePair` knows how to *sample* a valid
+random case, *execute* it through both engines and compare, and
+enumerate *shrink* candidates for minimization — so the campaign runner
+(:mod:`repro.fuzz.campaign`) and the shrinker (:mod:`repro.fuzz.shrink`)
+never special-case an engine.
+
+Registered pairs and their guarantees (the docs oracle map in
+``docs/architecture.md`` renders this table):
+
+========================  =============================================
+``montecarlo``            vectorized block decisions vs the exact
+                          per-channel event loops on identical sampled
+                          faults — bit-identical outcome counts
+``fleet-lifetime``        vectorized year-by-year reductions vs the
+                          legacy per-event Python rules on identical
+                          histories (plus an exact batch<->history
+                          round trip) — equal to 1e-9 relative
+``trace-replay``          ``BatchedTraceSimulator`` vs
+                          ``TraceSimulator.run`` — bit-identical
+``pair-screen``           rank-level uncorrectable-pair screen vs exact
+                          MC codeword footprints — true upper bound
+                          (exact on device/lane-only populations)
+``measured-bounds``       measured overhead profiles vs the worst-case
+                          arithmetic — ``validate_bounds`` upper bound
+========================  =============================================
+
+Execution returns ``None`` on agreement or a one-line divergence
+description; every case is a plain JSON-able dict, so cases travel
+through runner jobs, the result cache, and repro files unchanged. A new
+engine plugs in by appending an :class:`OraclePair` to
+:data:`ORACLE_PAIRS` (see ``docs/fuzzing.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.types import FaultRates, FaultType
+from repro.fleet.scenario_file import CONFIG_NAMES, organization_from_mapping
+from repro.fuzz import sampler
+from repro.util.rng import make_rng
+from repro.util.suggest import unknown_key_message
+
+#: Fields a per-fault weight table may carry (FaultType member names,
+#: lower-case — the JSON spelling of a case's ``per_fault`` keys).
+_FAULT_NAMES = tuple(ft.name.lower() for ft in FaultType)
+
+
+def organization_config(ref: Any):
+    """Resolve a case's organization: built-in name or custom table."""
+    if isinstance(ref, str):
+        if ref not in CONFIG_NAMES:
+            raise KeyError(
+                unknown_key_message("organization", ref, CONFIG_NAMES)
+            )
+        return CONFIG_NAMES[ref]
+    return organization_from_mapping("fuzzed", dict(ref))
+
+
+def _per_fault_weights(mapping: Dict[str, float]) -> Dict[FaultType, float]:
+    return {FaultType[name.upper()]: value for name, value in mapping.items()}
+
+
+def _halved_int(value: int, floor: int) -> Optional[int]:
+    nxt = max(floor, value // 2)
+    return nxt if nxt < value else None
+
+
+def _halved_float(value: float, floor: float) -> Optional[float]:
+    nxt = max(floor, value / 2.0)
+    return nxt if nxt < value else None
+
+
+def _with(case: Dict[str, Any], **changes: Any) -> Dict[str, Any]:
+    out = dict(case)
+    out.update(changes)
+    return out
+
+
+def _numeric_shrinks(
+    case: Dict[str, Any],
+    int_floors: Sequence[Tuple[str, int]] = (),
+    float_floors: Sequence[Tuple[str, float]] = (),
+) -> List[Dict[str, Any]]:
+    """Single-field halving candidates, in declaration order."""
+    out: List[Dict[str, Any]] = []
+    for key, floor in int_floors:
+        nxt = _halved_int(int(case[key]), floor)
+        if nxt is not None:
+            out.append(_with(case, **{key: nxt}))
+    for key, floor in float_floors:
+        nxt = _halved_float(float(case[key]), floor)
+        if nxt is not None:
+            out.append(_with(case, **{key: nxt}))
+    return out
+
+
+def _org_shrinks(case: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Collapse a custom organization toward the built-in ARCC row."""
+    if isinstance(case.get("organization"), str):
+        return []
+    return [_with(case, organization="arcc")]
+
+
+# -- montecarlo: vectorized block decisions vs exact event loops --------------
+
+
+def _reliability_params(case: Dict[str, Any]):
+    from repro.reliability.analytical import ReliabilityParams
+
+    return ReliabilityParams(
+        devices_per_rank=case["devices_per_rank"],
+        ranks=case["ranks"],
+        banks=case["banks"],
+        rows=case["rows"],
+        columns=case["columns"],
+        scrub_interval_hours=case["scrub_interval_hours"],
+        rate_multiplier=case["rate_multiplier"],
+        rates=FaultRates(**case["rates"]),
+    )
+
+
+def _execute_montecarlo(case: Dict[str, Any]) -> Optional[str]:
+    """``run()`` vs ``run(exact_pairs=True)``: same sampled faults, the
+    vectorized pair decisions against the per-channel event loops."""
+    from repro.reliability.montecarlo import MonteCarloReliability
+
+    mc = MonteCarloReliability(_reliability_params(case), seed=case["seed"])
+    fast = mc.run(case["channels"], case["years"])
+    exact = mc.run(case["channels"], case["years"], exact_pairs=True)
+    for field in (
+        "sdc_machines_arcc",
+        "sdc_machines_sccdcd",
+        "due_machines_sccdcd",
+        "due_machines_sparing",
+    ):
+        if getattr(fast, field) != getattr(exact, field):
+            return (
+                f"{field}: vectorized {getattr(fast, field)} != "
+                f"event-loop {getattr(exact, field)}"
+            )
+    return None
+
+
+def _shrink_montecarlo(case: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return _numeric_shrinks(
+        case,
+        int_floors=(("channels", 16), ("rows", 16), ("columns", 16)),
+        float_floors=(("years", 1.0), ("rate_multiplier", 1.0)),
+    )
+
+
+# -- fleet-lifetime: vectorized reductions vs legacy per-event rules ----------
+
+
+def _fleet_inputs(case: Dict[str, Any]):
+    from repro.fleet.scenarios import RatePhase, SubPopulation
+
+    config = organization_config(case["organization"])
+    pop = SubPopulation(
+        name="fuzz",
+        channels=case["channels"],
+        config=config,
+        rates=FaultRates(**case["rates"]),
+        rate_multiplier=case["rate_multiplier"],
+        lifespan_years=float(case["years"]),
+        schedule=tuple(
+            RatePhase(duration_years=d, multiplier=m)
+            for d, m in case["phases"]
+        ),
+    )
+    return config, pop
+
+
+def _execute_fleet(case: Dict[str, Any]) -> Optional[str]:
+    """Batched sampling + vectorized reductions vs the legacy rules.
+
+    Three sub-checks on one sampled batch: the batch<->history
+    converters are exact inverses; the faulty-fraction reduction matches
+    the legacy union rule; the capped-overhead reduction matches the
+    legacy accumulation loop — both to 1e-9 relative.
+    """
+    from repro.experiments.fig7_4_7_5 import _overhead_series
+    from repro.faults.lifetime import _fraction_after_events
+    from repro.fleet.engine import (
+        faulty_fractions_by_year,
+        overhead_series_by_year,
+        sample_fleet,
+    )
+    from repro.fleet.events import FaultEventBatch
+    from repro.util.units import HOURS_PER_YEAR
+
+    config, pop = _fleet_inputs(case)
+    years = int(case["years"])
+    batch = sample_fleet(
+        pop.channels,
+        float(years),
+        rate_multiplier=pop.rate_multiplier,
+        config=config,
+        rates=pop.rates,
+        seed=case["seed"],
+        phases=tuple(pop.phases()),
+    )
+    histories = batch.to_histories()
+    if FaultEventBatch.from_histories(histories) != batch:
+        return "batch -> histories -> batch round trip is not exact"
+
+    fast_frac = faulty_fractions_by_year(batch, years, config).mean(axis=1)
+    for year in range(1, years + 1):
+        horizon = year * HOURS_PER_YEAR
+        legacy = float(
+            np.mean(
+                [
+                    _fraction_after_events(
+                        [e for e in events if e.time_hours <= horizon], config
+                    )
+                    for events in histories
+                ]
+            )
+        )
+        if not np.isclose(fast_frac[year - 1], legacy, rtol=1e-9, atol=1e-12):
+            return (
+                f"faulty fraction, year {year}: vectorized "
+                f"{fast_frac[year - 1]!r} != legacy {legacy!r}"
+            )
+
+    per_fault = _per_fault_weights(case["per_fault"])
+    cap = case["cap"]
+    fast_over = overhead_series_by_year(batch, years, per_fault, cap=cap)
+    legacy_over = _overhead_series(histories, years, per_fault, cap=cap)
+    for year in range(1, years + 1):
+        fast_mean = float(fast_over[year - 1].mean())
+        if not np.isclose(
+            fast_mean, legacy_over[year - 1], rtol=1e-9, atol=1e-12
+        ):
+            return (
+                f"capped overhead, year {year}: vectorized {fast_mean!r} "
+                f"!= legacy {legacy_over[year - 1]!r}"
+            )
+    return None
+
+
+def _shrink_fleet(case: Dict[str, Any]) -> List[Dict[str, Any]]:
+    out = _numeric_shrinks(
+        case,
+        int_floors=(("channels", 8), ("years", 1)),
+        float_floors=(("rate_multiplier", 1.0),),
+    )
+    if case["phases"]:
+        out.append(_with(case, phases=case["phases"][:-1]))
+    out.extend(_org_shrinks(case))
+    return out
+
+
+# -- trace-replay: batched engine vs the legacy per-access simulator ----------
+
+
+def _execute_trace(case: Dict[str, Any]) -> Optional[str]:
+    """``BatchedTraceSimulator.run`` vs ``TraceSimulator.run``,
+    field-for-field bit-identical on one (mix, organization, fraction)."""
+    from repro.perf.engine import BatchedTraceSimulator
+    from repro.perf.simulator import TraceSimulator
+    from repro.workloads.spec import mix_by_name
+
+    config = organization_config(case["organization"])
+    mix = mix_by_name(case["mix"])
+    kwargs = dict(
+        config=config,
+        upgraded_fraction=case["upgraded_fraction"],
+        seed=case["seed"],
+    )
+    n = case["instructions_per_core"]
+    fast = BatchedTraceSimulator(**kwargs).run(mix, instructions_per_core=n)
+    oracle = TraceSimulator(**kwargs).run(mix, instructions_per_core=n)
+
+    for i, (a, b) in enumerate(zip(fast.cores, oracle.cores)):
+        if (a.benchmark, a.instructions, a.cycles) != (
+            b.benchmark,
+            b.instructions,
+            b.cycles,
+        ):
+            return (
+                f"core {i}: batched ({a.benchmark}, {a.instructions}, "
+                f"{a.cycles!r}) != legacy ({b.benchmark}, "
+                f"{b.instructions}, {b.cycles!r})"
+            )
+    for field in ("total_w", "background_w", "dynamic_w", "per_rank_w"):
+        if getattr(fast.power, field) != getattr(oracle.power, field):
+            return (
+                f"power.{field}: batched {getattr(fast.power, field)!r} "
+                f"!= legacy {getattr(oracle.power, field)!r}"
+            )
+    for field in ("llc_miss_rate", "average_memory_latency_ns"):
+        if getattr(fast, field) != getattr(oracle, field):
+            return (
+                f"{field}: batched {getattr(fast, field)!r} != legacy "
+                f"{getattr(oracle, field)!r}"
+            )
+    return None
+
+
+def _shrink_trace(case: Dict[str, Any]) -> List[Dict[str, Any]]:
+    out = _numeric_shrinks(
+        case, int_floors=(("instructions_per_core", 200),)
+    )
+    if case["upgraded_fraction"] not in (0.0, 1.0):
+        out.append(_with(case, upgraded_fraction=0.0))
+        out.append(_with(case, upgraded_fraction=1.0))
+    out.extend(_org_shrinks(case))
+    return out
+
+
+# -- pair-screen: rank-level screen vs exact codeword footprints --------------
+
+
+def _screen_batches(case: Dict[str, Any]):
+    """One MC sample and its coordinate-blind fleet view."""
+    from repro.fleet.events import FAULT_TYPE_ORDER, FaultEventBatch
+    from repro.reliability.montecarlo import (
+        DEVICE_LEVEL_TYPES,
+        _sample_batch,
+    )
+
+    params = _reliability_params(
+        _with(case, scrub_interval_hours=4.0)
+    )
+    mc = _sample_batch(
+        params, make_rng(case["seed"]), case["channels"], case["years"]
+    )
+    code_map = np.array(
+        [FAULT_TYPE_ORDER.index(ft) for ft in DEVICE_LEVEL_TYPES]
+    )
+    fleet = FaultEventBatch(
+        offsets=np.asarray(mc.offsets, dtype=np.int64),
+        time_hours=np.asarray(mc.time_hours, dtype=np.float64),
+        type_code=code_map[np.asarray(mc.type_code, dtype=np.int64)],
+        channel=np.zeros(len(mc.time_hours), dtype=np.int64),
+        rank=np.asarray(mc.rank, dtype=np.int64),
+        device=np.asarray(mc.device, dtype=np.int64),
+    )
+    return mc, fleet
+
+
+def _exact_uncorrectable(mc, window_hours: float) -> np.ndarray:
+    """Ground truth: a pair with intersecting exact footprints whose
+    second member arrives within the window of the first."""
+    out = np.zeros(len(mc.offsets) - 1, dtype=bool)
+    for member in np.flatnonzero(mc.per_channel >= 2):
+        faults = mc.channel_faults(int(member))
+        for i, earlier in enumerate(faults):
+            if out[member]:
+                break
+            for later in faults[i + 1 :]:
+                if (
+                    later.time_hours - earlier.time_hours <= window_hours
+                    and earlier.footprint_intersects(later)
+                ):
+                    out[member] = True
+                    break
+    return out
+
+
+def _execute_screen(case: Dict[str, Any]) -> Optional[str]:
+    """The rank-level screen must flag every exactly-uncorrectable
+    channel (upper bound); on device/lane-only populations it must agree
+    channel for channel (the bound is achieved)."""
+    from repro.fleet.policies import uncorrectable_candidate_channels
+
+    mc, fleet = _screen_batches(case)
+    window = case["window_hours"]
+    screen = uncorrectable_candidate_channels(fleet, window)
+    exact = _exact_uncorrectable(mc, window)
+    missed = np.flatnonzero(exact & ~screen)
+    if missed.size:
+        return (
+            f"screen missed {missed.size} exactly-uncorrectable "
+            f"channel(s), first {[int(c) for c in missed[:3]]}"
+        )
+    if case["device_lane_only"]:
+        extra = np.flatnonzero(screen & ~exact)
+        if extra.size:
+            return (
+                "device/lane-only population: screen over-flagged "
+                f"{extra.size} channel(s), first {[int(c) for c in extra[:3]]}"
+            )
+    return None
+
+
+def _shrink_screen(case: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return _numeric_shrinks(
+        case,
+        int_floors=(("channels", 32),),
+        float_floors=(
+            ("years", 1.0),
+            ("rate_multiplier", 2.0),
+            ("window_hours", 24.0),
+        ),
+    )
+
+
+# -- measured-bounds: measured profiles vs the worst-case arithmetic ----------
+
+
+def _execute_measured(case: Dict[str, Any]) -> Optional[str]:
+    """Measured per-fault weights must stay within their worst-case
+    oracle bounds (``MeasuredOverheadProfile.validate_bounds``)."""
+    from repro.fleet.measured import run_measured_profiles
+    from repro.workloads.spec import mix_by_name
+
+    config = organization_config(case["organization"])
+    profiles = run_measured_profiles(
+        policies=tuple(case["policies"]),
+        organizations=(config,),
+        mixes=[mix_by_name(name) for name in case["mixes"]],
+        instructions_per_core=case["instructions_per_core"],
+        seed=case["seed"],
+    )
+    for profile in profiles.values():
+        try:
+            profile.validate_bounds()
+        except ValueError as exc:
+            return str(exc)
+    return None
+
+
+def _shrink_measured(case: Dict[str, Any]) -> List[Dict[str, Any]]:
+    out = _numeric_shrinks(
+        case, int_floors=(("instructions_per_core", 500),)
+    )
+    if len(case["mixes"]) > 1:
+        out.append(_with(case, mixes=case["mixes"][:1]))
+    if len(case["policies"]) > 1:
+        for policy in case["policies"]:
+            out.append(_with(case, policies=[policy]))
+    out.extend(_org_shrinks(case))
+    return out
+
+
+# -- the registry -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OraclePair:
+    """One fast engine and its exact oracle behind the fuzz interface.
+
+    ``sample(rng, quick)`` draws a valid random case (a JSON-able dict);
+    ``execute(case)`` runs both engines and returns ``None`` on
+    agreement or a one-line divergence description; ``shrinks(case)``
+    lists strictly-smaller candidate cases in deterministic order.
+    ``guarantee`` is the documented equivalence class (``bit-identical``
+    or ``upper-bound``); ``hook`` names the standing test that enforces
+    the pair outside fuzz campaigns (the docs oracle map cites both).
+    """
+
+    key: str
+    title: str
+    guarantee: str
+    hook: str
+    sample: Callable[[np.random.Generator, bool], Dict[str, Any]]
+    execute: Callable[[Dict[str, Any]], Optional[str]]
+    shrinks: Callable[[Dict[str, Any]], List[Dict[str, Any]]]
+
+
+#: Every registered fast-engine/oracle pair, in campaign round-robin
+#: order. New engines append here; ``docs/fuzzing.md`` documents the
+#: contract.
+ORACLE_PAIRS: Dict[str, OraclePair] = {
+    pair.key: pair
+    for pair in (
+        OraclePair(
+            key="montecarlo",
+            title="vectorized MC decisions vs exact event loops",
+            guarantee="bit-identical",
+            hook="tests/test_montecarlo_vectorized.py",
+            sample=sampler.sample_montecarlo_case,
+            execute=_execute_montecarlo,
+            shrinks=_shrink_montecarlo,
+        ),
+        OraclePair(
+            key="fleet-lifetime",
+            title="fleet engine reductions vs legacy per-event rules",
+            guarantee="bit-identical",
+            hook="tests/test_fleet.py",
+            sample=sampler.sample_fleet_case,
+            execute=_execute_fleet,
+            shrinks=_shrink_fleet,
+        ),
+        OraclePair(
+            key="trace-replay",
+            title="BatchedTraceSimulator vs TraceSimulator.run",
+            guarantee="bit-identical",
+            hook="tests/test_perf_engine.py",
+            sample=sampler.sample_trace_case,
+            execute=_execute_trace,
+            shrinks=_shrink_trace,
+        ),
+        OraclePair(
+            key="pair-screen",
+            title="rank-level uncorrectable screen vs exact footprints",
+            guarantee="upper-bound",
+            hook="tests/test_policy_mc_crosscheck.py",
+            sample=sampler.sample_screen_case,
+            execute=_execute_screen,
+            shrinks=_shrink_screen,
+        ),
+        OraclePair(
+            key="measured-bounds",
+            title="measured overhead profiles vs worst-case bounds",
+            guarantee="upper-bound",
+            hook="tests/test_measured.py",
+            sample=sampler.sample_measured_case,
+            execute=_execute_measured,
+            shrinks=_shrink_measured,
+        ),
+    )
+}
+
+#: Registry keys in round-robin order (the ``--oracles`` vocabulary).
+ORACLE_KEYS: Tuple[str, ...] = tuple(ORACLE_PAIRS)
+
+
+def resolve_oracles(
+    keys: Optional[Sequence[str]] = None,
+) -> Tuple[OraclePair, ...]:
+    """Oracle pairs for the requested keys (all of them by default).
+
+    Unknown keys raise ``KeyError`` with the shared did-you-mean
+    suggestion message (:func:`repro.util.suggest.unknown_key_message`).
+
+    Examples
+    --------
+    >>> [pair.key for pair in resolve_oracles(["trace-replay"])]
+    ['trace-replay']
+    >>> len(resolve_oracles()) == len(ORACLE_PAIRS)
+    True
+    """
+    if not keys:
+        return tuple(ORACLE_PAIRS.values())
+    out = []
+    for key in dict.fromkeys(keys):
+        if key not in ORACLE_PAIRS:
+            raise KeyError(
+                unknown_key_message(
+                    "oracle", key, ORACLE_PAIRS, known_label="known oracles"
+                )
+            )
+        out.append(ORACLE_PAIRS[key])
+    return tuple(out)
+
+
+def execute_case(oracle: str, case: Dict[str, Any]) -> Optional[str]:
+    """Run one case through its pair; ``None`` or a divergence line."""
+    return resolve_oracles([oracle])[0].execute(case)

@@ -1,0 +1,142 @@
+"""Greedy minimization of diverging fuzz cases, and repro files.
+
+When a campaign finds a case where a fast engine disagrees with its
+oracle, the raw case is rarely the best bug report — 900 channels and
+five burn-in phases obscure a divergence that a 16-channel, zero-phase
+case would show just as well. :func:`shrink_case` walks the oracle
+pair's deterministic candidate list (:meth:`OraclePair.shrinks` —
+single-field reductions such as halved channels, one dropped phase, a
+custom organization collapsed to a built-in), adopts the first candidate
+that *still diverges*, and repeats until no candidate diverges or the
+pass budget runs out. The result is deterministic (no randomness),
+monotone (the minimized case still reproduces the divergence) and
+bounded (at most :data:`SHRINK_PASS_BUDGET` adoption passes) —
+properties ``tests/test_fuzz_shrink.py`` pins.
+
+Minimized cases are written as self-contained JSON repro files
+(:func:`write_repro_file`) that ``repro fuzz --replay FILE`` re-executes
+(:func:`replay_repro_file`); the format is documented in
+``docs/fuzzing.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.fuzz.oracles import ORACLE_PAIRS, resolve_oracles
+
+#: Maximum number of adoption passes :func:`shrink_case` will run. Each
+#: pass shrinks at least one field toward its floor, so real campaigns
+#: converge well before this; the cap guarantees termination even for a
+#: pathological ``shrinks`` implementation.
+SHRINK_PASS_BUDGET = 8
+
+#: Repro-file format marker (bump on incompatible change).
+REPRO_FORMAT = "repro-fuzz/1"
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of minimizing one diverging case."""
+
+    oracle: str
+    case: Dict[str, Any]  # the minimized, still-diverging case
+    original_case: Dict[str, Any]
+    detail: str  # divergence description of the minimized case
+    passes: int  # adoption passes used (<= the budget)
+
+    @property
+    def shrunk(self) -> bool:
+        return self.case != self.original_case
+
+
+def shrink_case(
+    oracle: str,
+    case: Dict[str, Any],
+    budget: int = SHRINK_PASS_BUDGET,
+) -> ShrinkResult:
+    """Greedily minimize a diverging case for one oracle pair.
+
+    Each pass re-executes the pair's candidate reductions in their
+    declared order and adopts the first that still diverges; a pass with
+    no adoptable candidate ends the search. The input case must itself
+    diverge — a passing case raises ``ValueError`` rather than silently
+    producing a non-repro.
+    """
+    pair = resolve_oracles([oracle])[0]
+    detail = pair.execute(case)
+    if detail is None:
+        raise ValueError(
+            f"case for oracle {oracle!r} does not diverge; nothing to shrink"
+        )
+    current, passes = dict(case), 0
+    while passes < budget:
+        for candidate in pair.shrinks(current):
+            candidate_detail = pair.execute(candidate)
+            if candidate_detail is not None:
+                current, detail = dict(candidate), candidate_detail
+                break
+        else:
+            break
+        passes += 1
+    return ShrinkResult(
+        oracle=oracle,
+        case=current,
+        original_case=dict(case),
+        detail=detail,
+        passes=passes,
+    )
+
+
+def write_repro_file(
+    path: Union[str, Path],
+    result: ShrinkResult,
+    campaign_seed: Optional[int] = None,
+    case_index: Optional[int] = None,
+) -> Path:
+    """Write a self-contained JSON repro for ``repro fuzz --replay``.
+
+    The file carries everything a fresh process needs: the oracle key,
+    its documented guarantee, the minimized case, the original sampled
+    case, and the campaign coordinates it came from.
+    """
+    path = Path(path)
+    pair = ORACLE_PAIRS[result.oracle]
+    payload = {
+        "format": REPRO_FORMAT,
+        "oracle": result.oracle,
+        "guarantee": pair.guarantee,
+        "detail": result.detail,
+        "campaign_seed": campaign_seed,
+        "case_index": case_index,
+        "case": result.case,
+        "original_case": result.original_case,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro_file(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse and sanity-check a repro file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != REPRO_FORMAT:
+        raise ValueError(
+            f"{path}: not a {REPRO_FORMAT} repro file "
+            f"(format={payload.get('format')!r})"
+        )
+    if payload.get("oracle") not in ORACLE_PAIRS:
+        raise ValueError(
+            f"{path}: unknown oracle {payload.get('oracle')!r}; "
+            f"known: {', '.join(ORACLE_PAIRS)}"
+        )
+    return payload
+
+
+def replay_repro_file(path: Union[str, Path]) -> Optional[str]:
+    """Re-execute a repro file's case; ``None`` means the bug is fixed."""
+    payload = load_repro_file(path)
+    return ORACLE_PAIRS[payload["oracle"]].execute(payload["case"])

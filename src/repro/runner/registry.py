@@ -29,7 +29,9 @@ from repro.fleet import (
     plan_fleet_compare,
     plan_fleet_compare_measured,
 )
+from repro.fuzz import plan_campaign
 from repro.runner.job import ExperimentPlan
+from repro.util.suggest import unknown_key_message
 from repro.workloads.spec import ALL_MIXES
 
 
@@ -171,6 +173,17 @@ FIGURES: Dict[str, FigureSpec] = {
                 "instructions_per_core": 10_000,
             },
         ),
+        # The standing differential-fuzz campaign (docs/fuzzing.md):
+        # every registered fast engine against its exact oracle on
+        # seeded random scenarios, sharing the pool and cache with the
+        # figures above.
+        FigureSpec(
+            "fuzz",
+            "Differential fuzz campaign: fast engines vs exact oracles",
+            plan_campaign,
+            defaults={"seed": 0, "count": 40},
+            quick={"seed": 0, "count": 10, "quick": True},
+        ),
     )
 }
 
@@ -178,13 +191,18 @@ FIGURES: Dict[str, FigureSpec] = {
 def build_plans(
     keys: Optional[Sequence[str]] = None, quick: bool = False
 ) -> List[ExperimentPlan]:
-    """Plans for the requested figures (all of them by default)."""
+    """Plans for the requested figures (all of them by default).
+
+    Unknown keys raise ``KeyError`` with the same did-you-mean
+    suggestions the fleet scenario loader produces.
+    """
     if not keys:
         keys = list(FIGURES)
     unknown = [key for key in keys if key not in FIGURES]
     if unknown:
-        known = ", ".join(FIGURES)
         raise KeyError(
-            f"unknown figure(s) {unknown}; known figures: {known}"
+            unknown_key_message(
+                "figure", unknown[0], FIGURES, known_label="known figures"
+            )
         )
     return [FIGURES[key].plan(quick=quick) for key in keys]

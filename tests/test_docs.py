@@ -38,6 +38,10 @@ DOCTEST_MODULES = (
     "repro.perf.trace",
     "repro.perf.engine",
     "repro.runner.job",
+    "repro.fuzz.sampler",
+    "repro.fuzz.oracles",
+    "repro.fuzz.campaign",
+    "repro.fuzz.shrink",
 )
 
 
@@ -61,12 +65,22 @@ def _intra_repo_links(path: Path):
 
 class TestMarkdownLinks:
     def test_docs_tree_exists(self):
-        for page in ("user-guide.md", "scenario-files.md", "architecture.md"):
+        for page in (
+            "user-guide.md",
+            "scenario-files.md",
+            "architecture.md",
+            "fuzzing.md",
+        ):
             assert (REPO_ROOT / "docs" / page).is_file(), page
 
     def test_readme_links_into_docs(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-        for page in ("user-guide.md", "scenario-files.md", "architecture.md"):
+        for page in (
+            "user-guide.md",
+            "scenario-files.md",
+            "architecture.md",
+            "fuzzing.md",
+        ):
             assert f"docs/{page}" in readme, page
 
     @pytest.mark.parametrize(
@@ -114,6 +128,29 @@ class TestDoctests:
             }
             for name in names:
                 assert name in found, f"{module.__name__}.{name} lost its example"
+
+
+class TestOracleMapDocs:
+    """The docs' oracle map must track the live fuzz registry."""
+
+    def test_architecture_oracle_map_covers_registry(self):
+        from repro.fuzz import ORACLE_PAIRS
+
+        text = (REPO_ROOT / "docs" / "architecture.md").read_text(
+            encoding="utf-8"
+        )
+        for key, pair in ORACLE_PAIRS.items():
+            assert f"`{key}`" in text, f"oracle map misses {key!r}"
+            assert pair.hook in text, f"oracle map misses hook for {key!r}"
+            assert pair.guarantee in text
+
+    def test_fuzzing_page_covers_cli_and_oracles(self):
+        from repro.fuzz import ORACLE_PAIRS
+
+        text = (REPO_ROOT / "docs" / "fuzzing.md").read_text(encoding="utf-8")
+        assert "repro fuzz" in text
+        for key in ORACLE_PAIRS:
+            assert key in text, f"fuzzing page misses oracle {key!r}"
 
 
 class TestCliDocumentation:

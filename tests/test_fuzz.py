@@ -1,0 +1,179 @@
+"""The differential fuzz harness: sampler validity, campaign behaviour.
+
+Three properties carry the harness:
+
+* every sampled case is *valid* — organizations round-trip through the
+  scenario-file loader's constraints, schedules through
+  ``SubPopulation``, so a campaign can only ever fail by divergence;
+* campaigns are pure functions of (seed, count): same seed, same cases,
+  same verdicts, bit-identical between ``--jobs 1`` and ``--jobs N``;
+* the tier-1 smoke campaign itself: a fixed-seed quick run across every
+  registered oracle pair must finish with zero divergences (the nightly
+  CI job runs the same command 20x larger).
+"""
+
+import pytest
+
+from repro.fuzz import (
+    ORACLE_KEYS,
+    ORACLE_PAIRS,
+    plan_campaign,
+    resolve_oracles,
+    run_campaign,
+)
+from repro.fuzz import sampler
+from repro.fuzz.campaign import sample_campaign_cases
+from repro.fuzz.oracles import organization_config
+from repro.util.rng import make_rng
+
+
+class TestSamplerValidity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_sampled_organizations_load(self, seed):
+        """Every sampled organization table passes the scenario-file
+        loader's full constraint set (io_width, pow2 sizes, check
+        devices, capacity alignment)."""
+        rng = make_rng(seed)
+        org = sampler.sample_organization(rng)
+        config = organization_config(org)
+        assert config.channels == org["channels"]
+        assert config.check_devices_per_rank >= 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_arcc_required_organizations_are_capable(self, seed):
+        from repro.perf.engine import arcc_capable
+
+        org = sampler.sample_organization(make_rng(seed), require_arcc=True)
+        assert arcc_capable(organization_config(org))
+
+    def test_builtin_references_resolve(self):
+        for name in sampler.BUILTIN_ORGANIZATIONS:
+            assert organization_config(name).channels >= 2
+
+    @pytest.mark.parametrize("key", ORACLE_KEYS)
+    def test_case_sampling_is_deterministic(self, key):
+        pair = ORACLE_PAIRS[key]
+        assert pair.sample(make_rng(7), False) == pair.sample(
+            make_rng(7), False
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_schedules_fit_the_lifespan(self, seed):
+        phases = sampler.sample_schedule(make_rng(seed), 5.0)
+        assert len(phases) <= 2
+        assert sum(duration for duration, _ in phases) < 5.0
+
+    def test_mix_names_are_real(self):
+        from repro.workloads.spec import mix_by_name
+
+        names = sampler.sample_mix_names(make_rng(3), 1, 2)
+        for name in names:
+            assert mix_by_name(name).name == name
+
+
+class TestCampaign:
+    def test_cases_are_pure_functions_of_seed_and_index(self):
+        full = sample_campaign_cases(seed=5, count=10, quick=True)
+        again = sample_campaign_cases(seed=5, count=10, quick=True)
+        assert [(i, p.key, s, c) for i, p, s, c in full] == [
+            (i, p.key, s, c) for i, p, s, c in again
+        ]
+        # Prefix stability: a longer campaign starts with the same cases.
+        longer = sample_campaign_cases(seed=5, count=14, quick=True)
+        assert [c for _, _, _, c in longer[:10]] == [
+            c for _, _, _, c in full
+        ]
+
+    def test_round_robin_covers_every_pair(self):
+        plan = plan_campaign(seed=1, count=len(ORACLE_KEYS) * 2, quick=True)
+        names = [job.name for job in plan.jobs]
+        for key in ORACLE_KEYS:
+            assert sum(f"[{key}]" in n for n in names) == 2
+
+    def test_smoke_campaign_finds_no_divergence(self):
+        """Tier-1's fixed-seed smoke campaign across every oracle pair."""
+        report = run_campaign(seed=0, count=10, quick=True, jobs=1)
+        assert report.ok, report.to_table()
+        assert {r.oracle for r in report.results} == set(ORACLE_KEYS)
+        assert "all cases agree" in report.to_table()
+
+    @pytest.mark.slow
+    def test_jobs_parallelism_is_bit_identical(self):
+        serial = run_campaign(seed=3, count=10, quick=True, jobs=1)
+        parallel = run_campaign(seed=3, count=10, quick=True, jobs=2)
+        assert [
+            (r.index, r.oracle, r.case_seed, r.case, r.diverged, r.detail)
+            for r in serial.results
+        ] == [
+            (r.index, r.oracle, r.case_seed, r.case, r.diverged, r.detail)
+            for r in parallel.results
+        ]
+
+
+class TestOracleRegistry:
+    def test_every_pair_declares_guarantee_and_hook(self):
+        for pair in ORACLE_PAIRS.values():
+            assert pair.guarantee in ("bit-identical", "upper-bound")
+            assert pair.hook.startswith("tests/")
+
+    def test_resolve_preserves_request_order_and_dedups(self):
+        picked = resolve_oracles(["pair-screen", "montecarlo", "pair-screen"])
+        assert [p.key for p in picked] == ["pair-screen", "montecarlo"]
+
+    def test_unknown_oracle_gets_a_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'montecarlo'"):
+            resolve_oracles(["montecarl"])
+
+    def test_unknown_organization_gets_a_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'arcc'"):
+            organization_config("arc")
+
+    def test_registry_exposes_fuzz_figure(self):
+        from repro.runner.registry import FIGURES
+
+        assert "fuzz" in FIGURES
+        plan = FIGURES["fuzz"].plan(quick=True)
+        assert len(plan.jobs) == 10
+
+    def test_unknown_figure_gets_a_suggestion(self):
+        from repro.runner.registry import build_plans
+
+        with pytest.raises(KeyError, match="did you mean 'fuzz'"):
+            build_plans(["fuz"])
+
+    def test_unknown_scenario_gets_a_suggestion(self):
+        from repro.fleet.scenarios import DEFAULT_SCENARIOS, resolve_scenario
+
+        first = next(iter(DEFAULT_SCENARIOS))
+        with pytest.raises(KeyError, match="did you mean"):
+            resolve_scenario(first[:-1] + "x")
+
+
+class TestFuzzCli:
+    def test_list_names_every_pair(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--list"]) == 0
+        out = capsys.readouterr().out
+        for key in ORACLE_KEYS:
+            assert key in out
+
+    def test_smoke_campaign_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--seed", "0", "--count", "5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "all cases agree" in out
+        assert "0 divergence(s)" in out
+
+    def test_unknown_oracle_flag_suggests(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(["fuzz", "--oracles", "montecarl", "--count", "1"])
+
+    def test_replay_missing_file_fails_cleanly(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="repro fuzz"):
+            main(["fuzz", "--replay", str(tmp_path / "nope.json")])
