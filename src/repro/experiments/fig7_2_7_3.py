@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import ARCC_MEMORY_CONFIG
 from repro.faults.models import TABLE_7_4_TYPES, upgraded_page_fraction
 from repro.faults.types import FaultType
-from repro.perf.engine import simulate_point_job
+from repro.perf.engine import resolve_engine, simulate_point_job
 from repro.perf.simulator import (
     worst_case_performance_ratio,
     worst_case_power_ratio,
@@ -106,6 +106,7 @@ def plan_fig7_2_7_3(
     fault_types: Sequence[FaultType] = TABLE_7_4_TYPES,
     instructions_per_core: int = 40_000,
     seed: int = 0x7ACE,
+    engine: str = "auto",
 ) -> ExperimentPlan:
     """Figures 7.2/7.3 as runner jobs: one per (mix, sweep point).
 
@@ -114,10 +115,12 @@ def plan_fig7_2_7_3(
     trace. The baseline used to be recomputed inside every mix job —
     hoisted out, the result cache stores it once per mix (and shares it
     with Figure 7.1's ARCC point and the sensitivity sweep), and the
-    normalization happens at assembly.
+    normalization happens at assembly. The engine tier resolves at plan
+    time so the cache distinguishes compiled from fallback results.
     """
     mixes = list(mixes) if mixes is not None else list(ALL_MIXES)
     fault_types = tuple(fault_types)
+    resolved_engine = resolve_engine(engine)
     jobs = []
     for mix in mixes:
         jobs.append(
@@ -129,6 +132,7 @@ def plan_fig7_2_7_3(
                 upgraded_fraction=0.0,
                 instructions_per_core=instructions_per_core,
                 seed=seed,
+                engine=resolved_engine,
             )
         )
         for fault_type in fault_types:
@@ -141,6 +145,7 @@ def plan_fig7_2_7_3(
                     upgraded_fraction=upgraded_page_fraction(fault_type),
                     instructions_per_core=instructions_per_core,
                     seed=seed,
+                    engine=resolved_engine,
                 )
             )
 
@@ -174,6 +179,7 @@ def run_fig7_2_7_3(
     seed: int = 0x7ACE,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "auto",
 ) -> FaultOverheadResult:
     """Regenerate Figures 7.2 and 7.3."""
     return execute_plan(
@@ -182,6 +188,7 @@ def run_fig7_2_7_3(
             fault_types=fault_types,
             instructions_per_core=instructions_per_core,
             seed=seed,
+            engine=engine,
         ),
         max_workers=jobs,
         cache=cache,

@@ -59,6 +59,7 @@ from repro.faults.types import FaultType
 from repro.perf.engine import (
     arcc_capable,
     mix_write_fraction_job,
+    resolve_engine,
     simulate_point_job,
 )
 from repro.perf.simulator import (
@@ -250,6 +251,7 @@ def plan_measured_profiles(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     instructions_per_core: int = MEASUREMENT_CONFIG.instructions_per_core,
     seed: int = MEASUREMENT_CONFIG.seed,
+    engine: str = "auto",
 ) -> ExperimentPlan:
     """Measured overheads as runner jobs: one per (policy, mix, class).
 
@@ -260,10 +262,13 @@ def plan_measured_profiles(
     computation coincides — the arcc and lotecc points of a class, or
     any point shared with Figures 7.1-7.3 — dedup in-batch and in the
     result cache. Assembles a dict keyed by (policy, organization name).
+    The engine tier resolves at plan time so the cache distinguishes
+    compiled from fallback results.
     """
     policies = _check_policies(policies)
     organizations = _check_organizations(organizations)
     mixes = list(mixes) if mixes is not None else list(ALL_MIXES)
+    resolved_engine = resolve_engine(engine)
 
     jobs: List[Job] = []
     # descriptor: ("base"|"wf", org index, mix index) or
@@ -280,6 +285,7 @@ def plan_measured_profiles(
                     upgraded_fraction=0.0,
                     instructions_per_core=instructions_per_core,
                     seed=seed,
+                    engine=resolved_engine,
                 )
             )
             descriptors.append(("base", o, m))
@@ -307,6 +313,7 @@ def plan_measured_profiles(
                             ),
                             instructions_per_core=instructions_per_core,
                             seed=seed,
+                            engine=resolved_engine,
                         )
                     )
                     descriptors.append(("class", o, m, policy, fault_type))

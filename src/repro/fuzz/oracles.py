@@ -21,6 +21,10 @@ Registered pairs and their guarantees (the docs oracle map in
                           round trip) — equal to 1e-9 relative
 ``trace-replay``          ``BatchedTraceSimulator`` vs
                           ``TraceSimulator.run`` — bit-identical
+``trace-kernel``          compiled C replay kernel vs the Python
+                          batched replay on the same buffers —
+                          bit-identical (agreement-by-default on
+                          compiler-less hosts)
 ``pair-screen``           rank-level uncorrectable-pair screen vs exact
                           MC codeword footprints — true upper bound
                           (exact on device/lane-only populations)
@@ -262,6 +266,37 @@ def _shrink_fleet(case: Dict[str, Any]) -> List[Dict[str, Any]]:
 # -- trace-replay: batched engine vs the legacy per-access simulator ----------
 
 
+def _mix_result_divergence(
+    fast, oracle, fast_name: str, oracle_name: str
+) -> Optional[str]:
+    """Field-for-field MixResult comparison; ``None`` when bit-identical."""
+    for i, (a, b) in enumerate(zip(fast.cores, oracle.cores)):
+        if (a.benchmark, a.instructions, a.cycles) != (
+            b.benchmark,
+            b.instructions,
+            b.cycles,
+        ):
+            return (
+                f"core {i}: {fast_name} ({a.benchmark}, {a.instructions}, "
+                f"{a.cycles!r}) != {oracle_name} ({b.benchmark}, "
+                f"{b.instructions}, {b.cycles!r})"
+            )
+    for field in ("total_w", "background_w", "dynamic_w", "per_rank_w"):
+        if getattr(fast.power, field) != getattr(oracle.power, field):
+            return (
+                f"power.{field}: {fast_name} "
+                f"{getattr(fast.power, field)!r} != {oracle_name} "
+                f"{getattr(oracle.power, field)!r}"
+            )
+    for field in ("llc_miss_rate", "average_memory_latency_ns"):
+        if getattr(fast, field) != getattr(oracle, field):
+            return (
+                f"{field}: {fast_name} {getattr(fast, field)!r} != "
+                f"{oracle_name} {getattr(oracle, field)!r}"
+            )
+    return None
+
+
 def _execute_trace(case: Dict[str, Any]) -> Optional[str]:
     """``BatchedTraceSimulator.run`` vs ``TraceSimulator.run``,
     field-for-field bit-identical on one (mix, organization, fraction)."""
@@ -279,31 +314,7 @@ def _execute_trace(case: Dict[str, Any]) -> Optional[str]:
     n = case["instructions_per_core"]
     fast = BatchedTraceSimulator(**kwargs).run(mix, instructions_per_core=n)
     oracle = TraceSimulator(**kwargs).run(mix, instructions_per_core=n)
-
-    for i, (a, b) in enumerate(zip(fast.cores, oracle.cores)):
-        if (a.benchmark, a.instructions, a.cycles) != (
-            b.benchmark,
-            b.instructions,
-            b.cycles,
-        ):
-            return (
-                f"core {i}: batched ({a.benchmark}, {a.instructions}, "
-                f"{a.cycles!r}) != legacy ({b.benchmark}, "
-                f"{b.instructions}, {b.cycles!r})"
-            )
-    for field in ("total_w", "background_w", "dynamic_w", "per_rank_w"):
-        if getattr(fast.power, field) != getattr(oracle.power, field):
-            return (
-                f"power.{field}: batched {getattr(fast.power, field)!r} "
-                f"!= legacy {getattr(oracle.power, field)!r}"
-            )
-    for field in ("llc_miss_rate", "average_memory_latency_ns"):
-        if getattr(fast, field) != getattr(oracle, field):
-            return (
-                f"{field}: batched {getattr(fast, field)!r} != legacy "
-                f"{getattr(oracle, field)!r}"
-            )
-    return None
+    return _mix_result_divergence(fast, oracle, "batched", "legacy")
 
 
 def _shrink_trace(case: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -315,6 +326,44 @@ def _shrink_trace(case: Dict[str, Any]) -> List[Dict[str, Any]]:
         out.append(_with(case, upgraded_fraction=1.0))
     out.extend(_org_shrinks(case))
     return out
+
+
+# -- trace-kernel: compiled C replay vs the Python batched replay -------------
+
+
+def _execute_trace_kernel(case: Dict[str, Any]) -> Optional[str]:
+    """Compiled kernel replay vs the Python batched replay on one
+    (mix, organization, fraction) — bit-identical field for field.
+
+    On hosts without a C compiler (or with ``REPRO_KERNEL_DISABLE``
+    set) the pair has nothing to differentiate; it reports agreement
+    and the campaign table still lists the case, so the absence is
+    visible in the count, not silently skipped. The standing hook
+    (``tests/test_kernel_equivalence.py``) skips with the loader's
+    reason string in the same situation.
+    """
+    from repro.perf._kernel import kernel_available
+    from repro.perf.engine import BatchedTraceSimulator
+    from repro.workloads.spec import mix_by_name
+
+    if not kernel_available():
+        return None
+
+    config = organization_config(case["organization"])
+    mix = mix_by_name(case["mix"])
+    kwargs = dict(
+        config=config,
+        upgraded_fraction=case["upgraded_fraction"],
+        seed=case["seed"],
+    )
+    n = case["instructions_per_core"]
+    compiled = BatchedTraceSimulator(engine="compiled", **kwargs).run(
+        mix, instructions_per_core=n
+    )
+    python = BatchedTraceSimulator(engine="python", **kwargs).run(
+        mix, instructions_per_core=n
+    )
+    return _mix_result_divergence(compiled, python, "compiled", "python")
 
 
 # -- pair-screen: rank-level screen vs exact codeword footprints --------------
@@ -499,6 +548,15 @@ ORACLE_PAIRS: Dict[str, OraclePair] = {
             hook="tests/test_perf_engine.py",
             sample=sampler.sample_trace_case,
             execute=_execute_trace,
+            shrinks=_shrink_trace,
+        ),
+        OraclePair(
+            key="trace-kernel",
+            title="compiled replay kernel vs Python batched replay",
+            guarantee="bit-identical",
+            hook="tests/test_kernel_equivalence.py",
+            sample=sampler.sample_trace_case,
+            execute=_execute_trace_kernel,
             shrinks=_shrink_trace,
         ),
         OraclePair(

@@ -1,0 +1,40 @@
+"""Compiled trace-replay kernel: C core, loader, and NumPy driver.
+
+The third engine tier behind :class:`repro.perf.engine.
+BatchedTraceSimulator` — ``compiled`` → vectorized-Python ``replay()``
+→ ``TraceSimulator.run`` oracle — built at first use from ``kernel.c``
+by :mod:`~repro.perf._kernel.loader` and driven over a batch's NumPy
+buffers by :mod:`~repro.perf._kernel.driver`. Bit-identical to the
+Python engine by contract (``tests/test_kernel_equivalence.py``,
+``repro fuzz --oracles trace-kernel``); unavailable — never silently
+different — when no C compiler is present or ``REPRO_KERNEL_DISABLE``
+is set.
+"""
+
+from repro.perf._kernel.driver import (
+    KernelStats,
+    clear_kernel_memos,
+    replay_compiled,
+    replay_compiled_stats,
+)
+from repro.perf._kernel.loader import (
+    CACHE_DIR_ENV,
+    DISABLE_ENV,
+    kernel_available,
+    kernel_provenance,
+    load_kernel,
+    reset_kernel_loader,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DISABLE_ENV",
+    "KernelStats",
+    "clear_kernel_memos",
+    "kernel_available",
+    "kernel_provenance",
+    "load_kernel",
+    "replay_compiled",
+    "replay_compiled_stats",
+    "reset_kernel_loader",
+]

@@ -661,14 +661,51 @@ def replay(
                 best_other = cycles[i]
                 best_other_index = i
 
-    # -- rollup (MemorySystem.power_report over reconstructed counters) ----
+    return _finalize_result(
+        batch=batch,
+        config=config,
+        cycles=cycles,
+        last_activity=last_activity,
+        powerdown_ns=powerdown_ns,
+        read_bursts=read_bursts,
+        write_bursts=write_bursts,
+        active_ns=active_ns,
+        total_latency=total_latency,
+        hits=hits,
+        misses=misses,
+        ns_per_cycle=ns_per_cycle,
+    )
+
+
+def _finalize_result(
+    batch: TraceBatch,
+    config: MemoryConfig,
+    cycles: List[float],
+    last_activity: List[float],
+    powerdown_ns: List[float],
+    read_bursts: List[int],
+    write_bursts: List[int],
+    active_ns: List[float],
+    total_latency: float,
+    hits: int,
+    misses: int,
+    ns_per_cycle: float,
+) -> MixResult:
+    """Rollup of one replay's end state into a :class:`MixResult`.
+
+    ``MemorySystem.power_report`` over reconstructed counters — shared
+    by the Python loop and the compiled kernel's driver, so the two
+    tiers differ only in who ran the sequential core.
+    """
+    timings = timings_for_width(config.io_width)
+    hysteresis = POWERDOWN_HYSTERESIS_NS
     instructions = [
         int(batch.instruction_gaps[batch.core_slice(i)].sum())
-        for i in range(n_cores)
+        for i in range(batch.cores)
     ]
     end_ns = max(cycles) * ns_per_cycle
     counters = []
-    for ri in range(n_rank_states):
+    for ri in range(config.channels * config.ranks_per_channel):
         trailing = end_ns - last_activity[ri]
         pd = powerdown_ns[ri]
         if trailing > hysteresis:
@@ -700,7 +737,7 @@ def replay(
                 instructions=instructions[i],
                 cycles=cycles[i],
             )
-            for i, profile in enumerate(profiles)
+            for i, profile in enumerate(batch.profiles)
         ],
         power=power,
         llc_miss_rate=(misses / accesses if accesses else 0.0),
@@ -710,11 +747,82 @@ def replay(
     )
 
 
+#: The replay engine tiers, strongest first. ``auto`` resolves to the
+#: compiled kernel when one can be built, else the vectorized Python
+#: loop; ``compiled`` *requires* the kernel (refuses to run without it,
+#: never silently falls back); ``python`` pins the pure-Python engine —
+#: the exact oracle of the compiled tier. ``TraceSimulator.run`` stays
+#: below both as the scalar oracle of the whole pipeline.
+ENGINE_TIERS = ("auto", "compiled", "python")
+
+
+def resolve_engine(engine: str = "auto") -> str:
+    """Map a requested tier to the one that will actually run.
+
+    Returns ``"compiled"`` or ``"python"``. Resolution is explicit so
+    callers (planners, the CLI) can record the *resolved* tier in job
+    configurations — runner cache keys then distinguish compiled from
+    fallback runs, closing the silent-fallback hazard.
+    """
+    if engine not in ENGINE_TIERS:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_TIERS}"
+        )
+    if engine == "python":
+        return "python"
+    from repro.perf._kernel import kernel_available, kernel_provenance
+
+    if kernel_available():
+        return "compiled"
+    if engine == "compiled":
+        raise RuntimeError(
+            "engine 'compiled' requested but the replay kernel is "
+            f"unavailable: {kernel_provenance()}"
+        )
+    return "python"
+
+
+def engine_provenance() -> Dict[str, str]:
+    """Which implementations back this process's fast paths.
+
+    ``replay_engine`` is what ``auto`` resolves to right now,
+    ``replay_kernel`` the loader's detail string (compiler found, mask,
+    build failure...), and ``trace_rng`` whether materialization runs
+    on the raw PCG64 bit stream or the Generator-method fallback.
+    Surfaced in CLI summaries and reports so a fallback is always
+    visible, never silent.
+    """
+    from repro.perf._kernel import kernel_provenance
+    from repro.perf.trace import trace_rng_provenance
+
+    return {
+        "replay_engine": resolve_engine("auto"),
+        "replay_kernel": kernel_provenance(),
+        "trace_rng": trace_rng_provenance(),
+    }
+
+
+def replay_resolved(
+    batch: TraceBatch,
+    point: SweepPoint,
+    processor: ProcessorConfig,
+    policy: MappingPolicy,
+    resolved: str,
+) -> MixResult:
+    """Dispatch one replay to an already-resolved engine tier."""
+    if resolved == "compiled":
+        from repro.perf._kernel import replay_compiled
+
+        return replay_compiled(batch, point, processor, policy)
+    return replay(batch, point, processor, policy)
+
+
 def sweep(
     batch: TraceBatch,
     points: Sequence[SweepPoint],
     processor: ProcessorConfig = PROCESSOR_CONFIG,
     policy: MappingPolicy = MappingPolicy.HIPERF,
+    engine: str = "auto",
 ) -> List[MixResult]:
     """Replay many sweep points against one materialized trace.
 
@@ -723,15 +831,21 @@ def sweep(
     organization (both memoized), so per-point cost is the sequential
     replay alone.
     """
-    return [replay(batch, point, processor, policy) for point in points]
+    resolved = resolve_engine(engine)
+    return [
+        replay_resolved(batch, point, processor, policy, resolved)
+        for point in points
+    ]
 
 
 def clear_engine_memos() -> None:
     """Drop memoized traces and replay arrays (cold-run benchmarking)."""
+    from repro.perf._kernel import clear_kernel_memos
     from repro.perf.trace import clear_trace_memo
 
     _trace_arrays.cache_clear()
     _route_arrays.cache_clear()
+    clear_kernel_memos()
     clear_trace_memo()
 
 
@@ -751,6 +865,7 @@ class BatchedTraceSimulator:
         upgraded_fraction: float = 0.0,
         arcc_enabled: Optional[bool] = None,
         seed: int = 0x7ACE,
+        engine: str = "auto",
     ):
         self.config = config
         self.processor = processor
@@ -759,6 +874,11 @@ class BatchedTraceSimulator:
             arcc_enabled = config.channels >= 2
         self.arcc_enabled = arcc_enabled
         self.seed = seed
+        self.engine = engine
+        if engine not in ENGINE_TIERS:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_TIERS}"
+            )
         if upgraded_fraction and not arcc_enabled:
             raise ValueError(
                 "upgraded pages require an ARCC-capable configuration"
@@ -771,7 +891,7 @@ class BatchedTraceSimulator:
     ) -> MixResult:
         """Simulate one mix (identical contract to the legacy oracle)."""
         batch = materialize_mix(mix, self.seed, instructions_per_core)
-        return replay(
+        return replay_resolved(
             batch,
             SweepPoint(
                 config=self.config,
@@ -779,6 +899,8 @@ class BatchedTraceSimulator:
                 arcc_enabled=self.arcc_enabled,
             ),
             self.processor,
+            MappingPolicy.HIPERF,
+            resolve_engine(self.engine),
         )
 
 
@@ -788,6 +910,7 @@ def simulate_point_job(
     upgraded_fraction: float,
     instructions_per_core: int,
     seed: int,
+    engine: str = "auto",
 ) -> Dict[str, float]:
     """Picklable runner job: one (mix, organization, fraction) point.
 
@@ -796,11 +919,20 @@ def simulate_point_job(
     the job's display name — shares identical points *across* figures:
     the fault-free ARCC run of Figure 7.1, the Figure 7.2/7.3 baseline
     and the sensitivity sweep's zero point are one cached simulation.
+
+    Planners pass the *resolved* engine tier (``"compiled"`` or
+    ``"python"``, via :func:`resolve_engine`) rather than ``"auto"``:
+    the tier is part of the job's configuration, so cache keys
+    distinguish compiled results from fallback results and a machine
+    that loses its compiler never silently reuses (or produces)
+    entries under the wrong label. The tiers are bit-identical by
+    contract, but the cache must not *depend* on that contract.
     """
     result = BatchedTraceSimulator(
         config=config,
         upgraded_fraction=upgraded_fraction,
         seed=seed,
+        engine=engine,
     ).run(mix, instructions_per_core=instructions_per_core)
     return {
         "power_w": result.power.total_w,
@@ -836,13 +968,17 @@ def mix_write_fraction_job(
 
 __all__ = [
     "BatchedTraceSimulator",
+    "ENGINE_TIERS",
     "SweepPoint",
     "arcc_capable",
     "clear_engine_memos",
     "decode_lines",
+    "engine_provenance",
     "mix_write_fraction_job",
     "page_is_upgraded",
     "replay",
+    "replay_resolved",
+    "resolve_engine",
     "simulate_point_job",
     "sweep",
     "upgraded_page_flags",

@@ -155,6 +155,88 @@ def _raw_stream_supported() -> bool:
         return False
 
 
+def trace_rng_provenance() -> str:
+    """Which draw path materialization uses, as a report-ready string.
+
+    ``"compiled-pcg64"`` when the C materialization kernel serves the
+    probed raw bit-stream draws (NumPy's own ``libnpyrandom`` linked
+    in), ``"raw-pcg64"`` when the runtime probe verified the direct
+    ctypes bit-stream draws, ``"generator-fallback"`` when it did not
+    (an unprobed NumPy build) — the same truths the materializer gates
+    on, exposed so results and CLI summaries record which path produced
+    them instead of falling back silently. All paths generate
+    bit-identical traces whenever the probe passes; the label exists so
+    a probe *failure* is visible in provenance rather than inferred
+    from timing.
+    """
+    if not _raw_stream_supported():
+        return "generator-fallback"
+    return (
+        "compiled-pcg64"
+        if _kernel_materializer() is not None
+        else "raw-pcg64"
+    )
+
+
+def _kernel_materializer():
+    """The compiled materialization entry point, or ``None``.
+
+    Requires both the compiled kernel (built against NumPy's static
+    ``libnpyrandom.a``, so its exponential draws *are* NumPy's) and a
+    passed raw-stream probe — the uniform and Lemire bounded draws in C
+    are the same transcriptions the probe verifies. Either absence
+    falls back to the Python paths below, visibly via
+    :func:`trace_rng_provenance`.
+    """
+    if not _raw_stream_supported():
+        return None
+    try:
+        from repro.perf._kernel.loader import (
+            load_kernel,
+            materializer_available,
+        )
+
+        if not materializer_available():
+            return None
+        return load_kernel()
+    except Exception:  # pragma: no cover - defensive: loader errors
+        return None
+
+
+def _materialize_core_compiled(lib, trace, instructions_per_core):
+    """One core's exact access stream, drawn by the C kernel.
+
+    Buffers are sized to ``instructions_per_core`` — every access
+    retires at least one instruction, so the count can never exceed
+    that (the kernel's overflow return is therefore unreachable).
+    """
+    capacity = int(instructions_per_core)
+    addresses = np.empty(capacity, dtype=np.int64)
+    writes = np.empty(capacity, dtype=np.uint8)
+    gaps = np.empty(capacity, dtype=np.int64)
+    count = lib.materialize_kernel(
+        trace.rng.bit_generator.ctypes.bit_generator,
+        float(trace.profile.spatial_locality),
+        float(trace.profile.read_fraction),
+        int(trace.region_base),
+        int(trace.footprint_lines),
+        float(trace._gap_instructions),
+        capacity,
+        int(trace._current),
+        capacity,
+        addresses.ctypes.data,
+        writes.ctypes.data,
+        gaps.ctypes.data,
+    )
+    if count < 0:  # pragma: no cover - capacity bound is exact
+        raise RuntimeError("materialize_kernel buffer overflow")
+    return (
+        addresses[:count],
+        writes[:count].view(np.bool_),
+        gaps[:count],
+    )
+
+
 def _materialize_core(trace, instructions_per_core, out):
     """Append one core's exact access stream to ``out``; returns count.
 
@@ -240,6 +322,43 @@ def _materialize(
 ) -> TraceBatch:
     """Memoized worker behind :func:`materialize_mix`."""
     traces = TraceGenerator(profiles, seed=seed).core_traces()
+    lib = _kernel_materializer()
+    if lib is not None:
+        per_core = []
+        for trace in traces:
+            if 0 < trace.footprint_lines <= _U32_MASK:
+                per_core.append(
+                    _materialize_core_compiled(
+                        lib, trace, instructions_per_core
+                    )
+                )
+            else:  # pragma: no cover - no shipped profile hits this
+                out = ([], [], [])
+                _materialize_core(trace, instructions_per_core, out)
+                per_core.append(
+                    (
+                        np.asarray(out[0], dtype=np.int64),
+                        np.asarray(out[1], dtype=bool),
+                        np.asarray(out[2], dtype=np.int64),
+                    )
+                )
+        offsets = [0]
+        for core_addresses, _, _ in per_core:
+            offsets.append(offsets[-1] + core_addresses.size)
+        return TraceBatch(
+            mix_name=mix_name,
+            profiles=tuple(profiles),
+            seed=seed,
+            instructions_per_core=instructions_per_core,
+            line_addresses=np.concatenate(
+                [core[0] for core in per_core]
+            ),
+            write_flags=np.concatenate([core[1] for core in per_core]),
+            instruction_gaps=np.concatenate(
+                [core[2] for core in per_core]
+            ),
+            core_offsets=np.asarray(offsets, dtype=np.int64),
+        )
     addresses = []
     writes = []
     gaps = []

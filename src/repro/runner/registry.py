@@ -54,13 +54,19 @@ def plan_tables() -> ExperimentPlan:
 
 @dataclass(frozen=True)
 class FigureSpec:
-    """One reproducible artifact: its plan builder and its two scales."""
+    """One reproducible artifact: its plan builder and its two scales.
+
+    ``engine_aware`` marks builders that accept an ``engine=`` keyword
+    (the trace-simulation sweeps); :func:`build_plans` forwards the
+    CLI's ``--engine`` choice to those and only those.
+    """
 
     key: str
     title: str
     builder: Callable[..., ExperimentPlan]
     defaults: Dict[str, Any] = field(default_factory=dict)
     quick: Dict[str, Any] = field(default_factory=dict)
+    engine_aware: bool = False
 
     def plan(self, quick: bool = False, **overrides: Any) -> ExperimentPlan:
         """Build the plan at the requested scale."""
@@ -90,42 +96,48 @@ FIGURES: Dict[str, FigureSpec] = {
             defaults={"monte_carlo_channels": 20_000},
             quick={"monte_carlo_channels": 0},
         ),
-        # The batched trace engine (repro.perf.engine) runs all three
-        # trace-simulation sweeps below at 200k instructions per core x
-        # all 12 mixes — 5x the pre-batched default, a step toward the
-        # paper's trace lengths — in a few seconds single-core. Their
-        # per-(mix, point) jobs dedup across figures: the fault-free
-        # ARCC point is one simulation shared by all three.
+        # The three trace-simulation sweeps below run at 2M
+        # instructions per core x all 12 mixes — 10x the PR 4 scale,
+        # afforded by the compiled replay kernel (repro.perf._kernel;
+        # `--engine auto` falls back to the vectorized Python engine on
+        # compiler-less hosts, where full scale is ~40s single-core).
+        # Each (mix, point) is its own job, so `repro run --jobs N`
+        # shards a mix's sweep points across workers; identical points
+        # dedup across figures: the fault-free ARCC point is one
+        # simulation shared by all three.
         FigureSpec(
             "fig7.1",
             "Figure 7.1: fault-free power/performance",
             plan_fig7_1,
-            defaults={"instructions_per_core": 200_000},
+            defaults={"instructions_per_core": 2_000_000},
             quick={
                 "mixes": ALL_MIXES[:4],
                 "instructions_per_core": 20_000,
             },
+            engine_aware=True,
         ),
         FigureSpec(
             "fig7.2",
             "Figures 7.2/7.3: power/performance with faults",
             plan_fig7_2_7_3,
-            defaults={"instructions_per_core": 200_000},
+            defaults={"instructions_per_core": 2_000_000},
             quick={
                 "mixes": ALL_MIXES[:3],
                 "instructions_per_core": 20_000,
             },
+            engine_aware=True,
         ),
         FigureSpec(
             "sensitivity",
             "Sensitivity: measured upgraded-fraction sweep",
             plan_sweep_upgraded_fraction_measured,
-            defaults={"instructions_per_core": 200_000},
+            defaults={"instructions_per_core": 2_000_000},
             quick={
                 "mixes": ALL_MIXES[:3],
                 "fractions": (0.0, 0.0625, 0.5, 1.0),
                 "instructions_per_core": 20_000,
             },
+            engine_aware=True,
         ),
         FigureSpec(
             "fig7.4",
@@ -172,6 +184,7 @@ FIGURES: Dict[str, FigureSpec] = {
                 "channels": 2_000,
                 "instructions_per_core": 10_000,
             },
+            engine_aware=True,
         ),
         # The standing differential-fuzz campaign (docs/fuzzing.md):
         # every registered fast engine against its exact oracle on
@@ -189,12 +202,17 @@ FIGURES: Dict[str, FigureSpec] = {
 
 
 def build_plans(
-    keys: Optional[Sequence[str]] = None, quick: bool = False
+    keys: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    engine: Optional[str] = None,
 ) -> List[ExperimentPlan]:
     """Plans for the requested figures (all of them by default).
 
-    Unknown keys raise ``KeyError`` with the same did-you-mean
-    suggestions the fleet scenario loader produces.
+    ``engine`` (an :data:`repro.perf.engine.ENGINE_TIERS` name) is
+    forwarded to every engine-aware spec — the trace-simulation sweeps
+    — and ignored by the rest; ``None`` leaves each builder's own
+    default (``auto``). Unknown keys raise ``KeyError`` with the same
+    did-you-mean suggestions the fleet scenario loader produces.
     """
     if not keys:
         keys = list(FIGURES)
@@ -205,4 +223,13 @@ def build_plans(
                 "figure", unknown[0], FIGURES, known_label="known figures"
             )
         )
-    return [FIGURES[key].plan(quick=quick) for key in keys]
+    plans = []
+    for key in keys:
+        spec = FIGURES[key]
+        overrides = (
+            {"engine": engine}
+            if engine is not None and spec.engine_aware
+            else {}
+        )
+        plans.append(spec.plan(quick=quick, **overrides))
+    return plans

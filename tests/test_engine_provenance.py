@@ -1,0 +1,138 @@
+"""Regression net for the silent-fallback hazard class.
+
+Two fast paths in the trace pipeline degrade gracefully when the host
+lacks a capability — the raw-PCG64 stream probe in ``perf/trace.py``
+and the compiled replay kernel. Graceful degradation must never be
+*silent*: the resolved tier is exposed through
+``engine_provenance()``, recorded in every planner's job configs, and
+therefore baked into result-cache keys — a compiled result can never
+satisfy a fallback run's lookup (or vice versa), and ``--engine
+compiled`` fails loudly rather than quietly downgrading.
+"""
+
+import os
+
+import pytest
+
+from repro.config import ARCC_MEMORY_CONFIG
+from repro.perf._kernel import (
+    DISABLE_ENV,
+    kernel_available,
+    kernel_provenance,
+    reset_kernel_loader,
+)
+from repro.perf.engine import (
+    ENGINE_TIERS,
+    BatchedTraceSimulator,
+    engine_provenance,
+    resolve_engine,
+    simulate_point_job,
+)
+from repro.perf.trace import trace_rng_provenance
+from repro.runner import Job, ResultCache
+from repro.workloads.spec import mix_by_name
+
+
+def _point_job(engine: str) -> Job:
+    return Job.create(
+        f"provenance[{engine}]",
+        simulate_point_job,
+        mix=mix_by_name("Mix1"),
+        config=ARCC_MEMORY_CONFIG,
+        upgraded_fraction=0.0,
+        instructions_per_core=1_000,
+        seed=0x7ACE,
+        engine=engine,
+    )
+
+
+@pytest.fixture
+def masked_kernel(monkeypatch):
+    """A process state in which the kernel is unavailable-by-policy."""
+    monkeypatch.setenv(DISABLE_ENV, "1")
+    reset_kernel_loader()
+    yield
+    monkeypatch.delenv(DISABLE_ENV, raising=False)
+    reset_kernel_loader()
+
+
+class TestCacheKeysDistinguishEngines:
+    def test_compiled_and_python_jobs_never_share_entries(self, tmp_path):
+        """The regression this module exists for: a fallback run must
+        miss on a compiled run's cache entry (and vice versa), because
+        the resolved tier is part of the job config."""
+        cache = ResultCache(str(tmp_path), version="pinned")
+        compiled_key = cache.key(_point_job("compiled"))
+        python_key = cache.key(_point_job("python"))
+        assert compiled_key != python_key
+
+    def test_planners_record_resolved_tier_not_auto(self):
+        """Plan-time resolution: the jobs a planner emits carry the
+        tier that will actually run, so ``auto`` on a compiler-less
+        host keys differently from ``auto`` on a compiled host."""
+        from repro.experiments import plan_fig7_1
+
+        plan = plan_fig7_1(
+            mixes=[mix_by_name("Mix1")], instructions_per_core=1_000
+        )
+        engines = {
+            dict(job.config)["engine"] for job in plan.jobs
+        }
+        assert engines == {resolve_engine("auto")}
+        assert "auto" not in engines
+
+
+class TestEngineProvenance:
+    def test_provenance_reports_all_capability_probes(self):
+        provenance = engine_provenance()
+        assert provenance["replay_engine"] in ("compiled", "python")
+        assert provenance["replay_engine"] == resolve_engine("auto")
+        assert provenance["replay_kernel"] == kernel_provenance()
+        assert provenance["trace_rng"] == trace_rng_provenance()
+        assert provenance["trace_rng"] in (
+            "compiled-pcg64",
+            "raw-pcg64",
+            "generator-fallback",
+        )
+
+    def test_masked_kernel_is_visible_everywhere(self, masked_kernel):
+        """Masking the compiler (the CI fallback leg) flips every
+        surface at once: availability, the reason string, auto
+        resolution, and the provenance report."""
+        assert not kernel_available()
+        assert DISABLE_ENV in kernel_provenance()
+        assert resolve_engine("auto") == "python"
+        assert engine_provenance()["replay_engine"] == "python"
+
+    def test_compiled_request_fails_loudly_when_masked(self, masked_kernel):
+        """``--engine compiled`` is a demand, not a hint."""
+        with pytest.raises(RuntimeError, match="compiled"):
+            resolve_engine("compiled")
+        with pytest.raises(RuntimeError, match="compiled"):
+            BatchedTraceSimulator(engine="compiled").run(
+                mix_by_name("Mix1"), instructions_per_core=500
+            )
+
+    def test_python_tier_unaffected_by_mask(self, masked_kernel):
+        result = BatchedTraceSimulator(engine="python").run(
+            mix_by_name("Mix1"), instructions_per_core=500
+        )
+        assert result.cores
+
+    def test_tier_vocabulary_is_closed(self):
+        assert ENGINE_TIERS == ("auto", "compiled", "python")
+        with pytest.raises(ValueError, match="unknown engine"):
+            BatchedTraceSimulator(engine="turbo")
+
+    def test_loader_recovers_after_unmasking(self):
+        """The fixture's teardown path, asserted explicitly: resetting
+        the loader re-probes the environment rather than memoizing the
+        masked verdict forever."""
+        os.environ[DISABLE_ENV] = "1"
+        try:
+            reset_kernel_loader()
+            assert not kernel_available()
+        finally:
+            os.environ.pop(DISABLE_ENV, None)
+        reset_kernel_loader()
+        assert kernel_available() == ("compiled" in kernel_provenance())

@@ -1,0 +1,139 @@
+"""Three-way golden matrix for the compiled replay kernel.
+
+The compiled tier (``repro.perf._kernel``) must be bit-identical to the
+Python batched ``replay()`` — and transitively to the per-access
+``TraceSimulator.run`` oracle — field for field, across every axis the
+sweep registry exercises: all 12 mixes x 5 upgraded fractions, the
+custom organizations of ``test_custom_organizations.py``, non-default
+seeds, and deep eviction-heavy runs. When no C compiler is present the
+module *skips with the loader's reason string* — a visible skip, never
+a silent pass (the CI fallback leg exercises exactly that path).
+"""
+
+import dataclasses
+
+import pytest
+from test_custom_organizations import (
+    CUSTOM_ORGANIZATIONS,
+    result_fingerprint,
+)
+
+from repro.config import ARCC_MEMORY_CONFIG, PROCESSOR_CONFIG
+from repro.faults.models import upgraded_page_fraction
+from repro.faults.types import FaultType
+from repro.perf._kernel import (
+    kernel_available,
+    kernel_provenance,
+    replay_compiled,
+    replay_compiled_stats,
+)
+from repro.perf.engine import SweepPoint, replay
+from repro.perf.simulator import TraceSimulator
+from repro.perf.trace import materialize_mix
+from repro.workloads.spec import ALL_MIXES, mix_by_name
+
+pytestmark = pytest.mark.skipif(
+    not kernel_available(),
+    reason=f"compiled replay kernel unavailable: {kernel_provenance()}",
+)
+
+#: The five fractions the full-scale sweeps visit most: fault-free, the
+#: column/bank/device Table 7.4 points, and the lane worst case.
+FRACTIONS = (0.0, 0.0625, 0.25, 0.5, 1.0)
+
+INSTRUCTIONS = 3_000
+DEEP_INSTRUCTIONS = 300_000
+
+#: A 1k-line, 4-way LLC (the replay reads only ``l2_sets``/``l2_assoc``
+#: from the processor table): every set overflows within the warmup, so
+#: the deep runs spend most of their accesses in the eviction and
+#: paired-evict paths rather than warming an oversized cache.
+EVICTION_HEAVY_PROCESSOR = dataclasses.replace(
+    PROCESSOR_CONFIG, l2_assoc=4, cacheline_bytes=1024
+)
+
+
+def three_way(mix, config, fraction, seed=0x7ACE, instructions=INSTRUCTIONS):
+    """Assert compiled == Python replay == legacy oracle on one cell."""
+    batch = materialize_mix(mix, seed, instructions)
+    point = SweepPoint(config=config, upgraded_fraction=fraction)
+    compiled = result_fingerprint(replay_compiled(batch, point))
+    python = result_fingerprint(replay(batch, point))
+    oracle = result_fingerprint(
+        TraceSimulator(config, upgraded_fraction=fraction, seed=seed).run(
+            mix, instructions_per_core=instructions
+        )
+    )
+    assert compiled == python, (mix.name, config.name, fraction, seed)
+    assert python == oracle, (mix.name, config.name, fraction, seed)
+
+
+class TestGoldenMatrix:
+    @pytest.mark.parametrize("mix", ALL_MIXES, ids=lambda m: m.name)
+    def test_all_mixes_all_fractions(self, mix):
+        """12 mixes x 5 fractions, three ways each (60 cells)."""
+        for fraction in FRACTIONS:
+            three_way(mix, ARCC_MEMORY_CONFIG, fraction)
+
+    @pytest.mark.parametrize(
+        "config", CUSTOM_ORGANIZATIONS, ids=lambda c: c.name
+    )
+    def test_custom_organizations(self, config):
+        """The scenario-file organizations, at their own Table 7.4
+        device fraction (odd channel/rank/bank counts bend the route
+        decode and the per-organization fraction alike)."""
+        for fraction in (0.0, upgraded_page_fraction(FaultType.DEVICE, config)):
+            three_way(mix_by_name("Mix3"), config, fraction)
+
+    @pytest.mark.parametrize("seed", [1, 0xBEEF, 987654321])
+    def test_non_default_seeds(self, seed):
+        """Different seeds change every address/gap stream; identity
+        must not depend on the default 0x7ACE materialization."""
+        three_way(mix_by_name("Mix5"), ARCC_MEMORY_CONFIG, 0.37, seed=seed)
+
+
+class TestDeepEvictionHeavyRuns:
+    """300k-instruction runs on a 4-way LLC: sustained eviction load.
+
+    The oracle leg is included — at this scale it is the most expensive
+    cell of the matrix, so only two mixes run deep, chosen for opposite
+    locality (Mix1 dense, Mix12 sparse).
+    """
+
+    @pytest.mark.parametrize("mix_name", ["Mix1", "Mix12"])
+    @pytest.mark.parametrize("fraction", [0.0, 0.37])
+    def test_deep_runs(self, mix_name, fraction):
+        mix = mix_by_name(mix_name)
+        batch = materialize_mix(mix, 0x7ACE, DEEP_INSTRUCTIONS)
+        point = SweepPoint(
+            config=ARCC_MEMORY_CONFIG, upgraded_fraction=fraction
+        )
+        compiled, stats = replay_compiled_stats(
+            batch, point, EVICTION_HEAVY_PROCESSOR
+        )
+        python = replay(batch, point, EVICTION_HEAVY_PROCESSOR)
+        assert result_fingerprint(compiled) == result_fingerprint(python)
+        # The deep runs really are eviction-heavy: the kernel's
+        # high-water mark sits at (or, with pair evictions dropping two
+        # lines at once, a whisker under) capacity, never above it.
+        cap = (
+            EVICTION_HEAVY_PROCESSOR.l2_sets
+            * EVICTION_HEAVY_PROCESSOR.l2_assoc
+        )
+        assert 0.9 * cap <= stats.max_occupancy <= cap
+        assert stats.misses > cap
+        assert stats.mirror_violations == 0
+
+    def test_deep_run_against_oracle(self):
+        """One full three-way cell at depth (the slow-but-decisive
+        transitivity anchor for the 300k runs above)."""
+        mix = mix_by_name("Mix1")
+        batch = materialize_mix(mix, 0x7ACE, DEEP_INSTRUCTIONS)
+        point = SweepPoint(config=ARCC_MEMORY_CONFIG, upgraded_fraction=0.37)
+        compiled = result_fingerprint(replay_compiled(batch, point))
+        oracle = result_fingerprint(
+            TraceSimulator(
+                ARCC_MEMORY_CONFIG, upgraded_fraction=0.37
+            ).run(mix, instructions_per_core=DEEP_INSTRUCTIONS)
+        )
+        assert compiled == oracle
