@@ -59,7 +59,11 @@ DIMM generations, harsh environments, burn-in schedules) through the
 vectorized :mod:`repro.fleet` engine. ``--list`` describes the
 built-ins; ``--scenario-file`` loads a declarative TOML/JSON scenario
 (schema: ``docs/scenario-files.md``), including custom
-``[organizations.<name>]`` memory-organization tables; ``--policies
+``[organizations.<name>]`` memory-organization tables and
+``[populations.spatial]`` spatially-correlated fault models
+(multi-row clusters, retention clusters, bank wear — they reshape only
+the sub-device fault coordinates, so rank-level results are
+bit-identical with and without them); ``--policies
 arcc,sccdcd,lotecc`` turns the sweep into a protection-policy
 comparison with a TCO-style decision table; ``--measured`` replaces the
 worst-case per-fault constants with weights measured by the batched

@@ -40,6 +40,11 @@ class MemoryConfig:
     capacity_per_channel_bytes: int = 4 * GB
     banks_per_device: int = 8
     pages_per_row: int = 2  # Section 7.1: two 4 KB pages per DRAM row
+    # Sub-bank array geometry for exact spatial fault coordinates; the
+    # defaults match ReliabilityParams so fleet batches and the exact
+    # Monte-Carlo footprint model agree on the coordinate space.
+    rows_per_bank: int = 16384
+    columns_per_row: int = 2048
 
     def __post_init__(self) -> None:
         if self.data_devices_per_rank >= self.devices_per_rank:

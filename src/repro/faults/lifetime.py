@@ -38,13 +38,23 @@ from repro.util.units import FIT_TO_PER_HOUR, HOURS_PER_YEAR
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One fault arrival in one simulated channel."""
+    """One fault arrival in one simulated channel.
+
+    ``bank``/``row``/``column`` refine the fault footprint below the
+    device. They default to zero so histories recorded before the
+    coordinate extension round-trip unchanged through
+    :class:`~repro.fleet.events.FaultEventBatch` — zero coordinates
+    reproduce the rank-level behaviour exactly.
+    """
 
     time_hours: float
     fault_type: FaultType
     channel: int = 0
     rank: int = 0
     device: int = 0
+    bank: int = 0
+    row: int = 0
+    column: int = 0
 
     @property
     def time_years(self) -> float:

@@ -73,8 +73,10 @@ from repro.fleet.scenario_file import (
 )
 from repro.fleet.scenarios import (
     DEFAULT_SCENARIOS,
+    SPATIAL_KINDS,
     FleetScenario,
     RatePhase,
+    SpatialFaultModel,
     SubPopulation,
     resolve_scenario,
 )
@@ -95,8 +97,10 @@ __all__ = [
     "PolicySliceReport",
     "ProtectionPolicy",
     "RatePhase",
+    "SPATIAL_KINDS",
     "ScenarioFile",
     "ScenarioFileError",
+    "SpatialFaultModel",
     "SubPopulation",
     "SubPopulationReport",
     "channel_arrival_rates",

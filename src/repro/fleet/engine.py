@@ -43,6 +43,51 @@ FLEET_BLOCK_CHANNELS = RUNNER_CONFIG.fleet_block_channels
 #: multiplier) segments, disjoint and in increasing start order.
 Phases = Sequence[Tuple[float, float, float]]
 
+#: A spatial-correlation model as a plain JSON-able mapping (the
+#: ``to_config()`` form of :class:`repro.fleet.scenarios.SpatialFaultModel`):
+#: ``{"kind": ..., "fraction": ..., "banks": ..., "rows": ..., "columns": ...}``.
+Spatial = Dict[str, object]
+
+
+def _apply_spatial(
+    coord_rng: np.random.Generator,
+    spatial: Spatial,
+    bank: np.ndarray,
+    row: np.ndarray,
+    column: np.ndarray,
+    config: MemoryConfig,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concentrate coordinate draws into a hot region.
+
+    Each supported kind redirects a ``fraction`` of the faults into a
+    small sub-array window (banks ``[0, banks)``, rows ``[0, rows)``,
+    columns ``[0, columns)``), modelling spatially correlated wear-out.
+    Only the sub-device coordinates are touched — times, types, and
+    rank-level coordinates are sampled before this runs, so every
+    rank-level reduction is independent of the spatial model.
+
+    * ``multi-row-cluster`` — correlated multi-row faults: hot faults
+      co-locate in a few banks and a contiguous row window.
+    * ``retention-cluster`` — variable-retention cells: hot faults
+      co-locate down to a (bank, row, column) window.
+    * ``bank-wear`` — bank-localized wear: hot faults concentrate in a
+      few banks, rows and columns stay uniform.
+    """
+    kind = str(spatial["kind"])
+    total = len(bank)
+    hot = coord_rng.random(total) < float(spatial.get("fraction", 0.5))
+    hot_banks = min(int(spatial.get("banks", 1)), config.banks_per_device)
+    bank = np.where(hot, coord_rng.integers(0, hot_banks, size=total), bank)
+    if kind in ("multi-row-cluster", "retention-cluster"):
+        hot_rows = min(int(spatial.get("rows", 64)), config.rows_per_bank)
+        row = np.where(hot, coord_rng.integers(0, hot_rows, size=total), row)
+    if kind == "retention-cluster":
+        hot_cols = min(int(spatial.get("columns", 64)), config.columns_per_row)
+        column = np.where(
+            hot, coord_rng.integers(0, hot_cols, size=total), column
+        )
+    return bank, row, column
+
 
 def channel_arrival_rates(
     config: MemoryConfig = ARCC_MEMORY_CONFIG,
@@ -67,6 +112,7 @@ def sample_block(
     config: MemoryConfig = ARCC_MEMORY_CONFIG,
     rates: FaultRates = DEFAULT_FIT_RATES,
     phases: Optional[Phases] = None,
+    spatial: Optional[Spatial] = None,
 ) -> FaultEventBatch:
     """Sample one block of channels in batched NumPy draws.
 
@@ -74,10 +120,21 @@ def sample_block(
     ``(start, duration, multiplier)`` segments; the default is a single
     constant-rate phase. ``rate_multiplier`` scales every phase (the
     paper's 1x/2x/4x sweeps compose with burn-in schedules).
+
+    The sub-device coordinates (``bank``/``row``/``column``) are drawn
+    from their own derived seed stream — counts, times, and rank-level
+    coordinates consume exactly the draws they always did, so every
+    rank-level reduction stays bit-identical to the pre-coordinate
+    engine. ``spatial`` (a :data:`Spatial` mapping) concentrates those
+    draws into a hot region; it never touches the rank-level stream.
     """
     if channels <= 0:
         return empty_batch(max(channels, 0))
     rng = make_rng(block_seed)
+    # Independent child stream for the sub-device coordinates: isolated
+    # so adding (or spatially re-shaping) them cannot perturb the
+    # rank-level draws above.
+    coord_rng = make_rng(derive_seeds(block_seed, 1)[0])
     base = channel_arrival_rates(config, rates) * rate_multiplier
     if phases is None:
         phases = ((0.0, years, 1.0),)
@@ -101,16 +158,32 @@ def sample_block(
         channel = rng.integers(0, config.channels, size=total)
         rank = rng.integers(0, config.ranks_per_channel, size=total)
         device = rng.integers(0, config.devices_per_rank, size=total)
-        chunks.append((member, time_hours, type_code, channel, rank, device))
+        bank = coord_rng.integers(0, config.banks_per_device, size=total)
+        row = coord_rng.integers(0, config.rows_per_bank, size=total)
+        column = coord_rng.integers(0, config.columns_per_row, size=total)
+        if spatial is not None:
+            bank, row, column = _apply_spatial(
+                coord_rng, spatial, bank, row, column, config
+            )
+        chunks.append(
+            (
+                member,
+                time_hours,
+                type_code,
+                channel,
+                rank,
+                device,
+                bank,
+                row,
+                column,
+            )
+        )
 
     if not chunks:
         return empty_batch(channels)
     member = np.concatenate([c[0] for c in chunks])
-    time_hours = np.concatenate([c[1] for c in chunks])
-    type_code = np.concatenate([c[2] for c in chunks])
-    channel = np.concatenate([c[3] for c in chunks])
-    rank = np.concatenate([c[4] for c in chunks])
-    device = np.concatenate([c[5] for c in chunks])
+    arrays = [np.concatenate([c[i] for c in chunks]) for i in range(1, 9)]
+    time_hours, type_code, channel, rank, device, bank, row, column = arrays
 
     order = np.lexsort((time_hours, member))
     counts_per_member = np.bincount(member, minlength=channels)
@@ -122,6 +195,9 @@ def sample_block(
         channel=channel[order].astype(np.int64),
         rank=rank[order].astype(np.int64),
         device=device[order].astype(np.int64),
+        bank=bank[order].astype(np.int64),
+        row=row[order].astype(np.int64),
+        column=column[order].astype(np.int64),
     )
 
 
@@ -151,6 +227,7 @@ def sample_fleet(
     rates: FaultRates = DEFAULT_FIT_RATES,
     seed: int = 0xFA117,
     phases: Optional[Phases] = None,
+    spatial: Optional[Spatial] = None,
     block_channels: int = FLEET_BLOCK_CHANNELS,
 ) -> FaultEventBatch:
     """Sample a whole population inline (all blocks, concatenated)."""
@@ -163,6 +240,7 @@ def sample_fleet(
             config=config,
             rates=rates,
             phases=phases,
+            spatial=spatial,
         )
         for block_seed, size in fleet_blocks(seed, channels, block_channels)
     ]

@@ -11,12 +11,21 @@ ops instead of Python loops.
 Converters to and from the legacy dataclass keep both worlds
 interchangeable: ``from_histories(sim.simulate_population(...))`` and
 ``batch.to_histories()`` are exact inverses, event for event.
+
+Batches carry full spatial coordinates: ``channel``/``rank``/``device``
+locate the faulty circuitry at rank level (the fields the legacy
+pipeline always had), and ``bank``/``row``/``column`` refine the
+footprint below the device so reductions that need exact
+footprint-intersection geometry (the uncorrectable-pair screen) can
+compute it instead of bounding it. Histories predating the coordinate
+extension default the sub-device coordinates to zero — zero coordinates
+reproduce the rank-level behaviour exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +39,19 @@ FAULT_TYPE_ORDER: Tuple[FaultType, ...] = tuple(FaultType)
 
 _CODE_OF = {fault_type: code for code, fault_type in enumerate(FAULT_TYPE_ORDER)}
 
+#: Per-event array fields, in canonical order. ``bank``/``row``/``column``
+#: default to zeros so pre-coordinate callers keep working unchanged.
+EVENT_FIELDS: Tuple[str, ...] = (
+    "time_hours",
+    "type_code",
+    "channel",
+    "rank",
+    "device",
+    "bank",
+    "row",
+    "column",
+)
+
 
 @dataclass(frozen=True)
 class FaultEventBatch:
@@ -37,9 +59,10 @@ class FaultEventBatch:
 
     Events are grouped by population member and time-ordered within each
     member: ``offsets[i]:offsets[i+1]`` slices member ``i``'s events.
-    ``channel``/``rank``/``device`` are the *geometric* coordinates of
-    the faulty circuitry inside one memory system (the same fields the
-    legacy :class:`~repro.faults.lifetime.FaultEvent` carries), not the
+    ``channel``/``rank``/``device``/``bank``/``row``/``column`` are the
+    *geometric* coordinates of the faulty circuitry inside one memory
+    system (the same fields the legacy
+    :class:`~repro.faults.lifetime.FaultEvent` carries), not the
     population index — that is implicit in the offsets.
 
     Attributes
@@ -51,8 +74,12 @@ class FaultEventBatch:
     type_code : numpy.ndarray
         ``(events,)`` int64 indices into :data:`FAULT_TYPE_ORDER`.
     channel, rank, device : numpy.ndarray
-        ``(events,)`` int64 geometric coordinates of the faulty
+        ``(events,)`` int64 rank-level coordinates of the faulty
         circuitry within the member's memory system.
+    bank, row, column : numpy.ndarray
+        ``(events,)`` int64 sub-device coordinates of the fault
+        footprint. Optional at construction; omitted fields default to
+        zeros (the pre-coordinate rank-level representation).
 
     Examples
     --------
@@ -71,6 +98,8 @@ class FaultEventBatch:
     [2, 0]
     >>> [ft.value for ft in batch.fault_types()]
     ['lane', 'bank']
+    >>> batch.bank.tolist()  # defaulted sub-device coordinates
+    [0, 0]
     """
 
     offsets: np.ndarray  # (members + 1,) int64, monotone, offsets[0] == 0
@@ -79,6 +108,19 @@ class FaultEventBatch:
     channel: np.ndarray  # (events,) int64
     rank: np.ndarray  # (events,) int64
     device: np.ndarray  # (events,) int64
+    bank: Optional[np.ndarray] = None  # (events,) int64, defaults to zeros
+    row: Optional[np.ndarray] = None  # (events,) int64, defaults to zeros
+    column: Optional[np.ndarray] = None  # (events,) int64, defaults to zeros
+
+    def __post_init__(self) -> None:
+        # Sub-device coordinates are optional: histories that predate
+        # them normalize to zeros, which reproduce rank-level behaviour
+        # exactly (zero coordinates always co-locate).
+        for name in ("bank", "row", "column"):
+            if getattr(self, name) is None:
+                object.__setattr__(
+                    self, name, np.zeros(len(self.time_hours), dtype=np.int64)
+                )
 
     @property
     def num_channels(self) -> int:
@@ -111,9 +153,12 @@ class FaultEventBatch:
             raise ValueError("offsets must be monotone")
         if int(self.offsets[-1]) != self.num_events:
             raise ValueError("offsets[-1] must equal the event count")
-        for name in ("time_hours", "type_code", "channel", "rank", "device"):
+        for name in EVENT_FIELDS:
             if len(getattr(self, name)) != self.num_events:
                 raise ValueError(f"{name} length mismatch")
+        for name in ("bank", "row", "column"):
+            if np.any(getattr(self, name) < 0):
+                raise ValueError(f"{name} coordinates must be non-negative")
         ids = self.channel_ids()
         # Times must be non-decreasing within each member.
         same_member = ids[1:] == ids[:-1] if self.num_events > 1 else np.array([], bool)
@@ -134,6 +179,9 @@ class FaultEventBatch:
                 channel=int(self.channel[i]),
                 rank=int(self.rank[i]),
                 device=int(self.device[i]),
+                bank=int(self.bank[i]),
+                row=int(self.row[i]),
+                column=int(self.column[i]),
             )
             for i in range(start, stop)
         ]
@@ -161,6 +209,9 @@ class FaultEventBatch:
             channel=np.array([e.channel for e in flat], dtype=np.int64),
             rank=np.array([e.rank for e in flat], dtype=np.int64),
             device=np.array([e.device for e in flat], dtype=np.int64),
+            bank=np.array([e.bank for e in flat], dtype=np.int64),
+            row=np.array([e.row for e in flat], dtype=np.int64),
+            column=np.array([e.column for e in flat], dtype=np.int64),
         )
 
     @classmethod
@@ -175,11 +226,10 @@ class FaultEventBatch:
             base += batch.num_events
         return cls(
             offsets=np.concatenate(offsets),
-            time_hours=np.concatenate([b.time_hours for b in batches]),
-            type_code=np.concatenate([b.type_code for b in batches]),
-            channel=np.concatenate([b.channel for b in batches]),
-            rank=np.concatenate([b.rank for b in batches]),
-            device=np.concatenate([b.device for b in batches]),
+            **{
+                name: np.concatenate([getattr(b, name) for b in batches])
+                for name in EVENT_FIELDS
+            },
         )
 
     def __eq__(self, other: object) -> bool:
@@ -187,14 +237,7 @@ class FaultEventBatch:
             return NotImplemented
         return all(
             np.array_equal(getattr(self, name), getattr(other, name))
-            for name in (
-                "offsets",
-                "time_hours",
-                "type_code",
-                "channel",
-                "rank",
-                "device",
-            )
+            for name in ("offsets",) + EVENT_FIELDS
         )
 
 
@@ -209,4 +252,7 @@ def empty_batch(channels: int) -> FaultEventBatch:
         channel=empty_i,
         rank=empty_i,
         device=empty_i,
+        bank=empty_i,
+        row=empty_i,
+        column=empty_i,
     )

@@ -23,19 +23,23 @@ measured points):
   ``f / (1 + f)`` stay as the documented oracle bound).
 * **sccdcd** — always-strong chipkill pays ARCC's fully-upgraded state
   as a constant premium: the measured lane-class (fraction 1) weights.
-* **lotecc** — an upgraded access doubles devices *and* issues extra
-  checksum operations (one extra read per read on top of LOT-ECC's
-  extra write per write). The device-doubling dimension reuses the
-  measured ARCC excess (that is where spatial locality helps); the
-  operation dimension is scaled by the mix's *measured* read/write
-  split: with write fraction ``w``, relaxed LOT-ECC issues ``r + 2w``
-  operations per access and the 18-device form ``2r + 2w``, so the
-  measured upgrade factor is ``F = 2 (2r + 2w) / (r + 2w)`` — between
-  2 (all writes, where both modes already pay the checksum write) and
-  the worst-case 4 (all reads) of
-  :data:`~repro.core.lotecc_arcc.WORST_CASE_UPGRADE_FACTOR`. Weights
-  are clamped to the Figure 7.6 worst case ``(F_wc - 1) f`` /
-  ``(1 - 1/F_wc) f`` per class.
+* **lotecc** — measured *directly*: the replay engine's LOT-ECC
+  checksum mode (``SweepPoint.lotecc_checksum``) issues the extra
+  checksum operations in the trace itself — every write pays its
+  checksum write in both modes, every upgraded fill adds one checksum
+  read per sub-line on the critical path — and each class point is
+  compared against a relaxed LOT-ECC baseline replayed in the same
+  mode, so ``power = ratio - 1`` and ``perf = 1 - ratio`` price the
+  real traffic instead of scaling ARCC's excess by the closed-form
+  factor ``F = 2 (2r + 2w) / (r + 2w)`` (retained as
+  :func:`_lotecc_factor`, the documented approximation this mode
+  replaces). Checksum replay exists in the Python engine tier only,
+  so LOT-ECC measurement jobs are planned with ``engine="python"`` —
+  the recorded tier is the provenance of the special mode. Weights
+  stay clamped to the Figure 7.6 worst case ``(F_wc - 1) f`` /
+  ``(1 - 1/F_wc) f`` per class, with
+  :data:`~repro.core.lotecc_arcc.WORST_CASE_UPGRADE_FACTOR` the
+  all-reads ceiling.
 
 Every simulation point funnels through
 :func:`~repro.perf.engine.simulate_point_job` with the Figure 7.1-7.3
@@ -58,7 +62,6 @@ from repro.faults.models import TABLE_7_4_TYPES, upgraded_page_fraction
 from repro.faults.types import FaultType
 from repro.perf.engine import (
     arcc_capable,
-    mix_write_fraction_job,
     resolve_engine,
     simulate_point_job,
 )
@@ -161,13 +164,18 @@ def _clamp(value: float, upper: float) -> float:
 
 
 def _lotecc_factor(write_fraction: float) -> float:
-    """Measured LOT-ECC upgrade factor for one mix's read/write split.
+    """Closed-form LOT-ECC upgrade factor for one read/write split.
 
     ``2 * (2r + 2w) / (r + 2w)``: devices double, and the operation
     count moves from ``r + 2w`` (nine-device LOT-ECC: extra write per
     write) to ``2r + 2w`` (18-device: extra read per read as well).
     All-reads recovers the worst case 4x of Figure 7.6; all-writes
     bottoms out at 2x (both modes already pay the checksum write).
+
+    Retained as the documented approximation the direct checksum-replay
+    measurement (``SweepPoint.lotecc_checksum``) replaced — the profile
+    pipeline no longer scales by it, but it remains the analytic
+    reference the replay mode is sanity-checked against.
 
     Examples
     --------
@@ -186,28 +194,28 @@ def _class_samples(
     fraction: float,
     power_ratio: float,
     performance_ratio: float,
-    write_fraction: float,
 ) -> Tuple[float, float, float, float]:
-    """(power, perf, worst power, worst perf) weights of one (mix, class)."""
-    worst_factor = WORST_CASE_UPGRADE_FACTOR
-    arcc_power = max(power_ratio - 1.0, 0.0)
-    arcc_perf = max(1.0 - performance_ratio, 0.0)
+    """(power, perf, worst power, worst perf) weights of one (mix, class).
+
+    Ratios are point over the policy's own relaxed baseline — for
+    ``lotecc`` both sides of the ratio ran in checksum-replay mode, so
+    the measured excess *is* the direct extra-traffic cost and the
+    weights read off identically for every policy; only the worst-case
+    clamp differs (Figure 7.6's factor-4 arithmetic for LOT-ECC, the
+    ``1 + f`` family for the SCCDCD-based policies).
+    """
+    excess_power = max(power_ratio - 1.0, 0.0)
+    perf_loss = max(1.0 - performance_ratio, 0.0)
     if policy == "lotecc":
-        measured_factor = _lotecc_factor(write_fraction)
+        worst_factor = WORST_CASE_UPGRADE_FACTOR
         worst_power = (worst_factor - 1.0) * fraction
         worst_perf = (1.0 - 1.0 / worst_factor) * fraction
-        # Device doubling carries the measured locality discount; the
-        # checksum-operation dimension scales it by the measured factor
-        # relative to ARCC's plain 2x (power) / halved bandwidth (perf).
-        power = arcc_power * (measured_factor - 1.0)
-        perf = arcc_perf * 2.0 * (1.0 - 1.0 / measured_factor)
     else:
         worst_power = worst_case_power_ratio(fraction) - 1.0
         worst_perf = 1.0 - worst_case_performance_ratio(fraction)
-        power, perf = arcc_power, arcc_perf
     return (
-        _clamp(power, worst_power),
-        _clamp(perf, worst_perf),
+        _clamp(excess_power, worst_power),
+        _clamp(perf_loss, worst_perf),
         worst_power,
         worst_perf,
     )
@@ -256,14 +264,15 @@ def plan_measured_profiles(
     """Measured overheads as runner jobs: one per (policy, mix, class).
 
     Per organization and mix there is one shared fault-free baseline
-    job, one job per (policy, fault class) at the class's Table 7.4
-    fraction *for that organization*, and one (trace-only) read/write
-    split job feeding the LOT-ECC operation arithmetic. Jobs whose
-    computation coincides — the arcc and lotecc points of a class, or
-    any point shared with Figures 7.1-7.3 — dedup in-batch and in the
-    result cache. Assembles a dict keyed by (policy, organization name).
-    The engine tier resolves at plan time so the cache distinguishes
-    compiled from fallback results.
+    job and one job per (policy, fault class) at the class's Table 7.4
+    fraction *for that organization*. LOT-ECC points (class points and
+    their own relaxed baseline) run in the engine's checksum-replay
+    mode — pinned to the Python tier and recorded as such in the job
+    configuration, so cache keys carry the special mode's provenance.
+    Jobs whose computation coincides — any point shared with Figures
+    7.1-7.3 — dedup in-batch and in the result cache. Assembles a dict
+    keyed by (policy, organization name). The engine tier resolves at
+    plan time so the cache distinguishes compiled from fallback results.
     """
     policies = _check_policies(policies)
     organizations = _check_organizations(organizations)
@@ -271,7 +280,7 @@ def plan_measured_profiles(
     resolved_engine = resolve_engine(engine)
 
     jobs: List[Job] = []
-    # descriptor: ("base"|"wf", org index, mix index) or
+    # descriptor: ("base"|"lotbase", org index, mix index) or
     #             ("class", org index, mix index, policy, fault type)
     descriptors: List[Tuple[Any, ...]] = []
     for o, config in enumerate(organizations):
@@ -289,18 +298,31 @@ def plan_measured_profiles(
                 )
             )
             descriptors.append(("base", o, m))
-            jobs.append(
-                Job.create(
-                    f"measured[{config.name}/{mix.name}][rw-split]",
-                    mix_write_fraction_job,
-                    mix=mix,
-                    instructions_per_core=instructions_per_core,
-                    seed=seed,
+            if "lotecc" in policies:
+                # Relaxed LOT-ECC still pays its checksum write per
+                # write, so the LOT-ECC ratio's denominator replays in
+                # the same checksum mode as its numerator.
+                jobs.append(
+                    Job.create(
+                        f"measured[{config.name}/{mix.name}]"
+                        "[lotecc-relaxed]",
+                        simulate_point_job,
+                        mix=mix,
+                        config=config,
+                        upgraded_fraction=0.0,
+                        instructions_per_core=instructions_per_core,
+                        seed=seed,
+                        engine="python",
+                        lotecc_checksum=True,
+                    )
                 )
-            )
-            descriptors.append(("wf", o, m))
+                descriptors.append(("lotbase", o, m))
             for policy in policies:
                 for fault_type in POLICY_FAULT_CLASSES[policy]:
+                    checksum = policy == "lotecc"
+                    kwargs: Dict[str, Any] = {}
+                    if checksum:
+                        kwargs["lotecc_checksum"] = True
                     jobs.append(
                         Job.create(
                             f"measured[{config.name}/{policy}/{mix.name}]"
@@ -313,7 +335,8 @@ def plan_measured_profiles(
                             ),
                             instructions_per_core=instructions_per_core,
                             seed=seed,
-                            engine=resolved_engine,
+                            engine="python" if checksum else resolved_engine,
+                            **kwargs,
                         )
                     )
                     descriptors.append(("class", o, m, policy, fault_type))
@@ -322,13 +345,13 @@ def plan_measured_profiles(
 
     def assemble(values: List[Any]) -> ProfileMap:
         base: Dict[Tuple[int, int], Dict[str, float]] = {}
-        write_fraction: Dict[Tuple[int, int], float] = {}
+        lotecc_base: Dict[Tuple[int, int], Dict[str, float]] = {}
         points: Dict[Tuple[int, int, str, FaultType], Dict[str, float]] = {}
         for descriptor, value in zip(descriptors, values):
             if descriptor[0] == "base":
                 base[descriptor[1:]] = value
-            elif descriptor[0] == "wf":
-                write_fraction[descriptor[1:]] = value["write_fraction"]
+            elif descriptor[0] == "lotbase":
+                lotecc_base[descriptor[1:]] = value
             else:
                 points[descriptor[1:]] = value
 
@@ -344,14 +367,17 @@ def plan_measured_profiles(
                     power_samples: List[float] = []
                     perf_samples: List[float] = []
                     for m in range(len(mixes)):
-                        fault_free = base[(o, m)]
+                        fault_free = (
+                            lotecc_base[(o, m)]
+                            if policy == "lotecc"
+                            else base[(o, m)]
+                        )
                         point = points[(o, m, policy, fault_type)]
                         p, q, wp, wq = _class_samples(
                             policy,
                             fraction,
                             point["power_w"] / fault_free["power_w"],
                             point["performance"] / fault_free["performance"],
-                            write_fraction[(o, m)],
                         )
                         power_samples.append(p)
                         perf_samples.append(q)

@@ -51,7 +51,7 @@ from repro.experiments.fig7_4_7_5 import (
     _per_fault_weights,
 )
 from repro.faults.models import TABLE_7_4_TYPES, upgraded_page_fraction
-from repro.faults.types import FaultRates, FaultType
+from repro.faults.types import DEVICE_LEVEL_TYPES, FaultRates, FaultType
 from repro.fleet.engine import (
     fleet_blocks,
     overhead_series_by_year,
@@ -88,7 +88,6 @@ from repro.util.tables import format_table
 from repro.util.units import HOURS_PER_YEAR
 
 _BIT_CODE = FAULT_TYPE_ORDER.index(FaultType.BIT)
-_LANE_CODE = FAULT_TYPE_ORDER.index(FaultType.LANE)
 
 #: Exposure-window keys: how long a first fault stays dangerous.
 #: ``repair`` — the fault persists until the DIMM is serviced
@@ -371,6 +370,17 @@ def policy_due_per_1k(
 # -- Monte-Carlo uncorrectable-pair screen ------------------------------------
 
 
+#: Fleet fault-type codes mapped onto the DEVICE_LEVEL_TYPES coding the
+#: exact footprint predicate expects (-1 marks BIT, which never enters).
+_DEVICE_LEVEL_CODE = np.array(
+    [
+        DEVICE_LEVEL_TYPES.index(ft) if ft in DEVICE_LEVEL_TYPES else -1
+        for ft in FAULT_TYPE_ORDER
+    ],
+    dtype=np.int64,
+)
+
+
 def uncorrectable_candidate_channels(
     batch: FaultEventBatch, window_hours: float
 ) -> np.ndarray:
@@ -378,13 +388,24 @@ def uncorrectable_candidate_channels(
 
     A boolean per population member: ``True`` when two device-level
     faults (bit faults never defeat symbol correction) land on distinct
-    devices sharing codewords — same memory channel, same rank unless a
-    lane fault spans ranks — with the second arriving within
-    ``window_hours`` of the first. Coordinate-blind below the rank level
-    (the fleet batch carries no bank/row/column), so this is a
-    conservative upper bound on true footprint overlap; the closed-form
-    columns carry the exact overlap probabilities.
+    devices with *exactly intersecting* codeword footprints — same
+    memory channel, same rank unless a lane fault spans ranks, and
+    overlapping ``(bank, row, column)`` regions — with the second
+    arriving within ``window_hours`` of the first.
+
+    Footprint geometry is the shared vectorized predicate
+    :func:`repro.reliability.montecarlo.footprint_pairs_intersect` (the
+    array form of ``_PlacedFault.footprint_intersects``), evaluated on
+    the batch's own coordinates, so this screen is an *exact* count —
+    bit-identical to the Monte-Carlo footprint model on identical
+    coordinates (the ``pair-screen`` fuzz oracle and
+    ``tests/test_policy_mc_crosscheck.py`` enforce equality in both
+    directions). Batches without sub-device coordinates default them to
+    zero, which reproduces the historical rank-level (upper-bound)
+    behaviour.
     """
+    from repro.reliability.montecarlo import footprint_pairs_intersect
+
     out = np.zeros(batch.num_channels, dtype=bool)
     if batch.num_events < 2:
         return out
@@ -392,6 +413,7 @@ def uncorrectable_candidate_channels(
     counts = np.bincount(
         batch.channel_ids()[eligible], minlength=batch.num_channels
     )
+    mc_code = _DEVICE_LEVEL_CODE[batch.type_code]
     for member in np.flatnonzero(counts >= 2):
         start, stop = int(batch.offsets[member]), int(batch.offsets[member + 1])
         idx = np.arange(start, stop)[eligible[start:stop]]
@@ -400,13 +422,17 @@ def uncorrectable_candidate_channels(
         # Events are time-sorted within a member, so b is the later fault.
         in_window = batch.time_hours[b] - batch.time_hours[a] <= window_hours
         same_channel = batch.channel[a] == batch.channel[b]
-        lane = (batch.type_code[a] == _LANE_CODE) | (
-            batch.type_code[b] == _LANE_CODE
+        intersects = footprint_pairs_intersect(
+            mc_code,
+            batch.rank,
+            batch.device,
+            batch.bank,
+            batch.row,
+            batch.column,
+            a,
+            b,
         )
-        same_rank = same_channel & (batch.rank[a] == batch.rank[b])
-        distinct_symbol = ~(same_rank & (batch.device[a] == batch.device[b]))
-        shares_codeword = same_channel & (lane | same_rank) & distinct_symbol
-        out[member] = bool(np.any(shares_codeword & in_window))
+        out[member] = bool(np.any(same_channel & intersects & in_window))
     return out
 
 
@@ -424,6 +450,7 @@ def _policy_block_job(
     rates: FaultRates,
     phases: Tuple[Tuple[float, float, float], ...],
     scrub_interval_hours: float,
+    spatial: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Picklable worker: one (policy, slice, block) cost evaluation.
 
@@ -439,6 +466,7 @@ def _policy_block_job(
         config=config,
         rates=rates,
         phases=phases,
+        spatial=spatial,
     )
     power = overhead_series_by_year(
         batch, report_years, policy.per_fault_power, cap=policy.power_cap
@@ -471,8 +499,9 @@ class PolicySliceReport:
     Overheads are lifetime-average fractions of the relaxed baseline
     (static premium included); SDC/DUE columns are the closed-form
     Chapter 6 models per 1000 machine-years; ``uncorrectable_fraction``
-    is the Monte-Carlo upper-bound screen of
-    :func:`uncorrectable_candidate_channels`.
+    is the exact footprint-intersection screen of
+    :func:`uncorrectable_candidate_channels`, evaluated on the sampled
+    ``(bank, row, column)`` coordinates.
     """
 
     policy: str
@@ -731,6 +760,9 @@ def plan_fleet_compare(
                         rates=pop.rates,
                         phases=tuple(pop.phases()),
                         scrub_interval_hours=scrub_hours,
+                        spatial=(
+                            pop.spatial.to_config() if pop.spatial else None
+                        ),
                     )
                 )
             spans[(policy.key, pop.name)] = (start, len(jobs))

@@ -148,6 +148,7 @@ def _fleet_block_job(
     config: MemoryConfig,
     rates: FaultRates,
     phases: Tuple[Tuple[float, float, float], ...],
+    spatial: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Picklable worker: sample one block and reduce it to moments."""
     batch = sample_block(
@@ -158,6 +159,7 @@ def _fleet_block_job(
         config=config,
         rates=rates,
         phases=phases,
+        spatial=spatial,
     )
     fractions = faulty_fractions_by_year(batch, report_years, config)
     counts = batch.per_channel.astype(np.float64)
@@ -188,6 +190,7 @@ def _population_jobs(
             config=pop.config,
             rates=pop.rates,
             phases=tuple(pop.phases()),
+            spatial=pop.spatial.to_config() if pop.spatial else None,
         )
         for index, (block_seed, size) in enumerate(
             fleet_blocks(seed, pop.channels)

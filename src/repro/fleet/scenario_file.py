@@ -28,7 +28,13 @@ from repro.config import (
     MemoryConfig,
 )
 from repro.faults.types import DEFAULT_FIT_RATES, FaultRates
-from repro.fleet.scenarios import FleetScenario, RatePhase, SubPopulation
+from repro.fleet.scenarios import (
+    SPATIAL_KINDS,
+    FleetScenario,
+    RatePhase,
+    SpatialFaultModel,
+    SubPopulation,
+)
 from repro.util.bitops import is_power_of_two
 from repro.util.suggest import did_you_mean
 
@@ -61,6 +67,8 @@ _ORGANIZATION_KEYS = (
     "capacity_per_channel_bytes",
     "banks_per_device",
     "pages_per_row",
+    "rows_per_bank",
+    "columns_per_row",
 )
 _ORGANIZATION_REQUIRED = (
     "io_width",
@@ -82,8 +90,10 @@ _POPULATION_KEYS = (
     "rate_multiplier",
     "lifespan_years",
     "schedule",
+    "spatial",
 )
 _PHASE_KEYS = ("duration_years", "multiplier")
+_SPATIAL_KEYS = ("kind", "fraction", "banks", "rows", "columns")
 
 
 class ScenarioFileError(ValueError):
@@ -311,6 +321,32 @@ def _parse_phase(raw: Any, path: str) -> RatePhase:
     )
 
 
+def _parse_spatial(raw: Any, path: str) -> SpatialFaultModel:
+    """One ``[populations.spatial]`` table -> :class:`SpatialFaultModel`."""
+    _check_keys(raw, _SPATIAL_KEYS, path)
+    kind = _get_str(raw, "kind", path)
+    if kind not in SPATIAL_KINDS:
+        raise _fail(
+            f"{path}.kind",
+            f"unknown spatial kind {kind!r}"
+            f"{did_you_mean(kind, SPATIAL_KINDS)}; "
+            f"known: {', '.join(SPATIAL_KINDS)}",
+        )
+    fraction = 0.5
+    if "fraction" in raw:
+        fraction = _get_float(raw, "fraction", path, minimum=0.0, exclusive=True)
+        if fraction > 1.0:
+            raise _fail(f"{path}.fraction", f"must be <= 1, got {fraction:g}")
+    extents = {}
+    for key in ("banks", "rows", "columns"):
+        if key in raw:
+            extents[key] = _get_int(raw, key, path, minimum=1)
+    try:
+        return SpatialFaultModel(kind=kind, fraction=fraction, **extents)
+    except ValueError as exc:
+        raise _fail(path, str(exc)) from exc
+
+
 def _parse_population(
     raw: Any,
     path: str,
@@ -364,6 +400,10 @@ def _parse_population(
             for i, phase in enumerate(phases)
         )
 
+    spatial: Optional[SpatialFaultModel] = None
+    if "spatial" in raw:
+        spatial = _parse_spatial(raw["spatial"], f"{path}.spatial")
+
     return SubPopulation(
         name=name,
         channels=channels,
@@ -372,6 +412,7 @@ def _parse_population(
         rate_multiplier=rate_multiplier,
         lifespan_years=lifespan_years,
         schedule=schedule,
+        spatial=spatial,
     )
 
 
@@ -538,6 +579,8 @@ def _organization_table(config: MemoryConfig) -> Dict[str, Any]:
         "capacity_per_channel_bytes": config.capacity_per_channel_bytes,
         "banks_per_device": config.banks_per_device,
         "pages_per_row": config.pages_per_row,
+        "rows_per_bank": config.rows_per_bank,
+        "columns_per_row": config.columns_per_row,
     }
 
 
@@ -580,6 +623,8 @@ def scenario_to_mapping(
                 }
                 for phase in pop.schedule
             ]
+        if pop.spatial:
+            entry["spatial"] = pop.spatial.to_config()
         populations.append(entry)
     out: Dict[str, Any] = {
         "name": scenario.name,

@@ -13,10 +13,83 @@ and the report layer aggregates them with confidence intervals.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import ARCC_MEMORY_CONFIG, BASELINE_MEMORY_CONFIG, MemoryConfig
 from repro.faults.types import DEFAULT_FIT_RATES, FaultRates
+
+#: Spatial fault-model kinds understood by the fleet engine.
+SPATIAL_KINDS = ("multi-row-cluster", "retention-cluster", "bank-wear")
+
+
+@dataclass(frozen=True)
+class SpatialFaultModel:
+    """Spatially-correlated placement of fault coordinates within a slice.
+
+    Rank-level models place every fault uniformly; real wear-out is not
+    uniform — variable-retention cells cluster in small regions, row
+    hammer and process variation concentrate failures in a few hot banks
+    and adjacent rows. A spatial model redirects the *coordinate* draws
+    (``bank``/``row``/``column``) of a fraction of faults into a small
+    hot region, which the exact footprint-intersection screen then
+    resolves — two row faults in the same bank and row now collide, two
+    in different rows do not.
+
+    The model only redraws coordinates on the independent coordinate
+    stream; fault counts, arrival times and channel/rank/device
+    placement are untouched, so every rank-level reduction stays
+    bit-identical with or without a spatial model.
+
+    Parameters
+    ----------
+    kind : str
+        One of :data:`SPATIAL_KINDS`:
+
+        * ``"multi-row-cluster"`` — correlated multi-row faults: hot
+          faults land in ``banks`` banks and a window of ``rows`` rows.
+        * ``"retention-cluster"`` — variable-retention clusters: hot
+          faults land in a ``banks`` x ``rows`` x ``columns`` region.
+        * ``"bank-wear"`` — bank-localized wear: hot faults concentrate
+          in ``banks`` banks, rows/columns stay uniform.
+    fraction : float
+        Fraction of faults redirected into the hot region, in (0, 1].
+    banks, rows, columns : int
+        Extent of the hot region along each axis (>= 1); clamped to the
+        slice's memory organization at sampling time.
+
+    Examples
+    --------
+    >>> model = SpatialFaultModel(kind="multi-row-cluster", fraction=0.8)
+    >>> sorted(model.to_config())
+    ['banks', 'columns', 'fraction', 'kind', 'rows']
+    """
+
+    kind: str
+    fraction: float = 0.5
+    banks: int = 1
+    rows: int = 64
+    columns: int = 64
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPATIAL_KINDS:
+            raise ValueError(
+                f"unknown spatial kind {self.kind!r}; "
+                f"expected one of {', '.join(SPATIAL_KINDS)}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("spatial fraction must be in (0, 1]")
+        if self.banks < 1 or self.rows < 1 or self.columns < 1:
+            raise ValueError("spatial region extents must be at least 1")
+
+    def to_config(self) -> Dict[str, object]:
+        """Plain JSON-able mapping for job configs and scenario files."""
+        return {
+            "kind": self.kind,
+            "fraction": self.fraction,
+            "banks": self.banks,
+            "rows": self.rows,
+            "columns": self.columns,
+        }
 
 
 @dataclass(frozen=True)
@@ -59,6 +132,10 @@ class SubPopulation:
         Years in service (> 0); the slice leaves fleet aggregates after.
     schedule : tuple of RatePhase
         Piecewise rate phases from deployment, in years.
+    spatial : SpatialFaultModel, optional
+        Spatially-correlated coordinate placement; ``None`` keeps the
+        uniform rank-level draws. Only affects the exact
+        footprint-intersection screen, never rank-level reductions.
 
     Examples
     --------
@@ -80,6 +157,7 @@ class SubPopulation:
     rate_multiplier: float = 1.0
     lifespan_years: float = 7.0
     schedule: Tuple[RatePhase, ...] = ()
+    spatial: Optional[SpatialFaultModel] = None
 
     def __post_init__(self) -> None:
         if self.channels <= 0:
@@ -269,6 +347,41 @@ def _burn_in(channels: int = 20_000) -> FleetScenario:
     )
 
 
+def _wear_out(channels: int = 20_000) -> FleetScenario:
+    """Spatially-correlated end-of-life wear the rank-level model can't see."""
+    return FleetScenario(
+        name="wear-out",
+        description=(
+            "70% steady fleet, 20% multi-row-cluster wear at 2x, "
+            "10% variable-retention clusters at 4x"
+        ),
+        populations=(
+            SubPopulation(name="steady", channels=round(channels * 0.70)),
+            SubPopulation(
+                name="row-clusters",
+                channels=round(channels * 0.20),
+                rate_multiplier=2.0,
+                spatial=SpatialFaultModel(
+                    kind="multi-row-cluster", fraction=0.8, banks=2, rows=32
+                ),
+            ),
+            SubPopulation(
+                name="retention",
+                channels=round(channels * 0.10),
+                rate_multiplier=4.0,
+                lifespan_years=5.0,
+                spatial=SpatialFaultModel(
+                    kind="retention-cluster",
+                    fraction=0.6,
+                    banks=1,
+                    rows=16,
+                    columns=16,
+                ),
+            ),
+        ),
+    )
+
+
 #: Built-in scenarios, in ``repro fleet`` print order.
 DEFAULT_SCENARIOS: Dict[str, FleetScenario] = {
     scenario.name: scenario
@@ -277,6 +390,7 @@ DEFAULT_SCENARIOS: Dict[str, FleetScenario] = {
         _mixed_generations(),
         _harsh_environment(),
         _burn_in(),
+        _wear_out(),
     )
 }
 

@@ -25,9 +25,9 @@ Registered pairs and their guarantees (the docs oracle map in
                           batched replay on the same buffers —
                           bit-identical (agreement-by-default on
                           compiler-less hosts)
-``pair-screen``           rank-level uncorrectable-pair screen vs exact
-                          MC codeword footprints — true upper bound
-                          (exact on device/lane-only populations)
+``pair-screen``           coordinate-aware uncorrectable-pair screen vs
+                          exact MC codeword footprints — exact, channel
+                          for channel on every population
 ``measured-bounds``       measured overhead profiles vs the worst-case
                           arithmetic — ``validate_bounds`` upper bound
 ========================  =============================================
@@ -370,7 +370,7 @@ def _execute_trace_kernel(case: Dict[str, Any]) -> Optional[str]:
 
 
 def _screen_batches(case: Dict[str, Any]):
-    """One MC sample and its coordinate-blind fleet view."""
+    """One MC sample and its coordinate-carrying fleet view."""
     from repro.fleet.events import FAULT_TYPE_ORDER, FaultEventBatch
     from repro.reliability.montecarlo import (
         DEVICE_LEVEL_TYPES,
@@ -393,6 +393,9 @@ def _screen_batches(case: Dict[str, Any]):
         channel=np.zeros(len(mc.time_hours), dtype=np.int64),
         rank=np.asarray(mc.rank, dtype=np.int64),
         device=np.asarray(mc.device, dtype=np.int64),
+        bank=np.asarray(mc.bank, dtype=np.int64),
+        row=np.asarray(mc.row, dtype=np.int64),
+        column=np.asarray(mc.column, dtype=np.int64),
     )
     return mc, fleet
 
@@ -417,9 +420,10 @@ def _exact_uncorrectable(mc, window_hours: float) -> np.ndarray:
 
 
 def _execute_screen(case: Dict[str, Any]) -> Optional[str]:
-    """The rank-level screen must flag every exactly-uncorrectable
-    channel (upper bound); on device/lane-only populations it must agree
-    channel for channel (the bound is achieved)."""
+    """The coordinate-aware screen must agree channel for channel with
+    the exact per-fault footprint walk — no misses and no over-flags,
+    on every sampled population (``device_lane_only`` only shapes the
+    rate mix, not the strength of the check)."""
     from repro.fleet.policies import uncorrectable_candidate_channels
 
     mc, fleet = _screen_batches(case)
@@ -432,13 +436,12 @@ def _execute_screen(case: Dict[str, Any]) -> Optional[str]:
             f"screen missed {missed.size} exactly-uncorrectable "
             f"channel(s), first {[int(c) for c in missed[:3]]}"
         )
-    if case["device_lane_only"]:
-        extra = np.flatnonzero(screen & ~exact)
-        if extra.size:
-            return (
-                "device/lane-only population: screen over-flagged "
-                f"{extra.size} channel(s), first {[int(c) for c in extra[:3]]}"
-            )
+    extra = np.flatnonzero(screen & ~exact)
+    if extra.size:
+        return (
+            f"screen over-flagged {extra.size} channel(s), "
+            f"first {[int(c) for c in extra[:3]]}"
+        )
     return None
 
 
@@ -503,8 +506,9 @@ class OraclePair:
     ``execute(case)`` runs both engines and returns ``None`` on
     agreement or a one-line divergence description; ``shrinks(case)``
     lists strictly-smaller candidate cases in deterministic order.
-    ``guarantee`` is the documented equivalence class (``bit-identical``
-    or ``upper-bound``); ``hook`` names the standing test that enforces
+    ``guarantee`` is the documented equivalence class (``bit-identical``,
+    ``exact`` or ``upper-bound``); ``hook`` names the standing test that
+    enforces
     the pair outside fuzz campaigns (the docs oracle map cites both).
     """
 
@@ -561,8 +565,8 @@ ORACLE_PAIRS: Dict[str, OraclePair] = {
         ),
         OraclePair(
             key="pair-screen",
-            title="rank-level uncorrectable screen vs exact footprints",
-            guarantee="upper-bound",
+            title="coordinate-aware uncorrectable screen vs exact footprints",
+            guarantee="exact",
             hook="tests/test_policy_mc_crosscheck.py",
             sample=sampler.sample_screen_case,
             execute=_execute_screen,

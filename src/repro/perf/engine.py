@@ -145,11 +145,22 @@ def arcc_capable(config: MemoryConfig) -> bool:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (organization, upgraded fraction) configuration to replay."""
+    """One (organization, upgraded fraction) configuration to replay.
+
+    ``lotecc_checksum`` turns on LOT-ECC operation accounting: every
+    DRAM write issues an extra checksum write burst (relaxed nine-device
+    LOT-ECC already pays this), and every *upgraded* fill additionally
+    issues one checksum read per sub-line on the fill's critical path —
+    the ``2r + 2w`` of the Figure 7.6 arithmetic, measured directly
+    instead of scaled by the closed-form factor. Implemented in the
+    Python tier only; :func:`replay_resolved` refuses to dispatch a
+    checksum point to the compiled kernel.
+    """
 
     config: MemoryConfig = ARCC_MEMORY_CONFIG
     upgraded_fraction: float = 0.0
     arcc_enabled: Optional[bool] = None
+    lotecc_checksum: bool = False
 
     def resolved_arcc(self) -> bool:
         """ARCC pairing on/off (defaults to multi-channel configs)."""
@@ -261,6 +272,7 @@ def replay(
     paired_single_channel = (
         bool(fraction) and arcc_enabled and config.channels == 1
     )
+    lotecc_checksum = point.lotecc_checksum
 
     # -- vectorized precomputation -----------------------------------------
     addresses = batch.line_addresses
@@ -619,6 +631,41 @@ def replay(
                 if sibling_completion > completion:
                     completion = sibling_completion
 
+                if lotecc_checksum:
+                    # 18-device LOT-ECC verifies every read against its
+                    # checksum: one extra read burst per sub-line, on
+                    # the fill's critical path (the 2r of the Figure
+                    # 7.6 arithmetic, issued instead of approximated).
+                    for chan, ri, fb in (
+                        (CHAN[p], RI[p], FB[p]),
+                        (SCHAN[p], SRI[p], SFB[p]),
+                    ):
+                        start = now
+                        other = bank_busy[fb]
+                        if other > start:
+                            start = other
+                        other = last_issue[chan]
+                        if other > start:
+                            start = other
+                        bus_at = start + data_offset
+                        other = bus_busy[chan]
+                        if other > bus_at:
+                            bus_at = other
+                        start = bus_at - data_offset
+                        checksum_completion = bus_at + burst
+                        idle = start - last_activity[ri]
+                        if idle > hysteresis:
+                            powerdown_ns[ri] += idle - hysteresis
+                        busy_until = start + trc
+                        bank_busy[fb] = busy_until
+                        last_activity[ri] = busy_until
+                        bus_busy[chan] = checksum_completion
+                        last_issue[chan] = start
+                        read_bursts[ri] += 1
+                        active_ns[ri] += tras
+                        if checksum_completion > completion:
+                            completion = checksum_completion
+
             latency = completion - now
             if latency < 0.0:
                 latency = 0.0
@@ -627,8 +674,15 @@ def replay(
             if writebacks is not None:
                 for wb_addr, wb_upgraded in writebacks:
                     write_back(now, wb_addr)
+                    if lotecc_checksum:
+                        # LOT-ECC pays one checksum write per data
+                        # write in *both* modes (the 2w term), co-
+                        # located with the data it protects.
+                        write_back(now, wb_addr)
                     if wb_upgraded:
                         write_back(now, wb_addr ^ 1)
+                        if lotecc_checksum:
+                            write_back(now, wb_addr ^ 1)
 
             p += 1
             if p == end:
@@ -809,8 +863,19 @@ def replay_resolved(
     policy: MappingPolicy,
     resolved: str,
 ) -> MixResult:
-    """Dispatch one replay to an already-resolved engine tier."""
+    """Dispatch one replay to an already-resolved engine tier.
+
+    LOT-ECC checksum points are Python-tier only: the compiled kernel
+    does not model the extra checksum operations, so dispatching one
+    there raises instead of silently dropping the traffic.
+    """
     if resolved == "compiled":
+        if point.lotecc_checksum:
+            raise RuntimeError(
+                "LOT-ECC checksum replay is implemented in the python "
+                "engine tier only; resolve the point with "
+                "engine='python'"
+            )
         from repro.perf._kernel import replay_compiled
 
         return replay_compiled(batch, point, processor, policy)
@@ -866,6 +931,7 @@ class BatchedTraceSimulator:
         arcc_enabled: Optional[bool] = None,
         seed: int = 0x7ACE,
         engine: str = "auto",
+        lotecc_checksum: bool = False,
     ):
         self.config = config
         self.processor = processor
@@ -875,6 +941,7 @@ class BatchedTraceSimulator:
         self.arcc_enabled = arcc_enabled
         self.seed = seed
         self.engine = engine
+        self.lotecc_checksum = lotecc_checksum
         if engine not in ENGINE_TIERS:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_TIERS}"
@@ -897,6 +964,7 @@ class BatchedTraceSimulator:
                 config=self.config,
                 upgraded_fraction=self.upgraded_fraction,
                 arcc_enabled=self.arcc_enabled,
+                lotecc_checksum=self.lotecc_checksum,
             ),
             self.processor,
             MappingPolicy.HIPERF,
@@ -911,6 +979,7 @@ def simulate_point_job(
     instructions_per_core: int,
     seed: int,
     engine: str = "auto",
+    lotecc_checksum: bool = False,
 ) -> Dict[str, float]:
     """Picklable runner job: one (mix, organization, fraction) point.
 
@@ -927,12 +996,17 @@ def simulate_point_job(
     that loses its compiler never silently reuses (or produces)
     entries under the wrong label. The tiers are bit-identical by
     contract, but the cache must not *depend* on that contract.
+
+    ``lotecc_checksum`` points (the direct LOT-ECC traffic measurement)
+    must be planned with ``engine="python"`` — the job's recorded
+    engine tier is the provenance marking the Python-only replay mode.
     """
     result = BatchedTraceSimulator(
         config=config,
         upgraded_fraction=upgraded_fraction,
         seed=seed,
         engine=engine,
+        lotecc_checksum=lotecc_checksum,
     ).run(mix, instructions_per_core=instructions_per_core)
     return {
         "power_w": result.power.total_w,

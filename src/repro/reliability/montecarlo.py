@@ -223,29 +223,59 @@ def _sample_batch(
 # -- vectorized policy decisions ----------------------------------------------
 
 
+def footprint_pairs_intersect(
+    type_code: np.ndarray,
+    rank: np.ndarray,
+    device: np.ndarray,
+    bank: np.ndarray,
+    row: np.ndarray,
+    column: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+) -> np.ndarray:
+    """Vectorized exact codeword-footprint intersection.
+
+    The array form of :meth:`_PlacedFault.footprint_intersects`, shared
+    between this module's block engine and the fleet uncorrectable-pair
+    screen (:func:`repro.fleet.policies.uncorrectable_candidate_channels`),
+    so both layers agree on footprint geometry by construction.
+
+    ``type_code`` indexes :data:`repro.faults.types.DEVICE_LEVEL_TYPES`;
+    ``left``/``right`` index fault pairs into the coordinate arrays.
+    Returns a boolean per pair. Must agree with the scalar method on
+    every input — the ``exact_pairs`` test mode and the ``pair-screen``
+    fuzz oracle enforce exactly that.
+    """
+    ta, tb = type_code[left], type_code[right]
+    lane = (ta == _LANE) | (tb == _LANE)
+    same_rank = rank[left] == rank[right]
+    rank_ok = lane | same_rank
+    distinct = ~((device[left] == device[right]) & same_rank)
+
+    covers_all = lane | (ta == _DEVICE) | (tb == _DEVICE)
+    same_bank = bank[left] == bank[right]
+    both_row = (ta == _ROW) & (tb == _ROW)
+    both_col = (ta == _COLUMN) & (tb == _COLUMN)
+    row_match = ~both_row | (row[left] == row[right])
+    col_match = ~both_col | (column[left] == column[right])
+    region = covers_all | (same_bank & row_match & col_match)
+    return rank_ok & distinct & region
+
+
 def _pairs_intersect(
     batch: _FaultBatch, left: np.ndarray, right: np.ndarray
 ) -> np.ndarray:
-    """Array form of :meth:`_PlacedFault.footprint_intersects`.
-
-    ``left``/``right`` index faults of ``batch``; returns a boolean per
-    pair. Must agree with the scalar method on every input — the
-    ``exact_pairs`` test mode enforces exactly that.
-    """
-    ta, tb = batch.type_code[left], batch.type_code[right]
-    lane = (ta == _LANE) | (tb == _LANE)
-    same_rank = batch.rank[left] == batch.rank[right]
-    rank_ok = lane | same_rank
-    distinct = ~((batch.device[left] == batch.device[right]) & same_rank)
-
-    covers_all = lane | (ta == _DEVICE) | (tb == _DEVICE)
-    same_bank = batch.bank[left] == batch.bank[right]
-    both_row = (ta == _ROW) & (tb == _ROW)
-    both_col = (ta == _COLUMN) & (tb == _COLUMN)
-    row_match = ~both_row | (batch.row[left] == batch.row[right])
-    col_match = ~both_col | (batch.column[left] == batch.column[right])
-    region = covers_all | (same_bank & row_match & col_match)
-    return rank_ok & distinct & region
+    """:func:`footprint_pairs_intersect` over a block batch's arrays."""
+    return footprint_pairs_intersect(
+        batch.type_code,
+        batch.rank,
+        batch.device,
+        batch.bank,
+        batch.row,
+        batch.column,
+        left,
+        right,
+    )
 
 
 def _next_scrub_array(time_hours: np.ndarray, interval: float) -> np.ndarray:

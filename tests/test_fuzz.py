@@ -113,7 +113,7 @@ class TestCampaign:
 class TestOracleRegistry:
     def test_every_pair_declares_guarantee_and_hook(self):
         for pair in ORACLE_PAIRS.values():
-            assert pair.guarantee in ("bit-identical", "upper-bound")
+            assert pair.guarantee in ("bit-identical", "exact", "upper-bound")
             assert pair.hook.startswith("tests/")
 
     def test_resolve_preserves_request_order_and_dedups(self):

@@ -1,22 +1,21 @@
-"""Cross-check: the rank-level uncorrectable-pair screen vs exact MC.
+"""Cross-check: the uncorrectable-pair screen vs exact MC footprints.
 
-The fleet batches carry no bank/row/column coordinates, so
+Fleet batches carry exact spatial coordinates (bank/row/column), so
 :func:`repro.fleet.policies.uncorrectable_candidate_channels` decides
-"shares a codeword" at rank level — documented as a conservative upper
-bound. These tests pin that claim against
-:mod:`repro.reliability.montecarlo`, whose sampler assigns *exact*
-footprint coordinates, on identical fault populations:
+"shares a codeword" with the same footprint-intersection predicate the
+MC engine uses (:func:`repro.reliability.montecarlo
+.footprint_pairs_intersect`). These tests pin the exactness claim
+against :mod:`repro.reliability.montecarlo` on identical fault
+populations:
 
-* **true upper bound** — every channel the exact footprint intersection
-  flags, the screen flags too, for every window/seed/rate swept here;
-* **tight within a documented factor** — at field-study type mixes the
-  screen over-counts by ~2x (small row/column faults share a rank far
-  more often than a bank/row/column), and never more than 3x — the
-  factor quoted in ``docs/architecture.md``;
-* **exact on its own terms** — restricted to device/lane faults (whose
-  footprints cover every codeword of the rank/channel), the screen and
-  the exact intersection agree channel for channel: the bound is
-  achieved, so it cannot be loosened.
+* **exact on every mix** — field-study type mixes, row/column-heavy
+  mixes and device/lane-only mixes all agree channel for channel with
+  the per-fault footprint walk, for every window/seed/rate swept here;
+* **coordinate-less batches stay a true upper bound** — a batch whose
+  bank/row/column default to zero (the pre-coordinate wire format)
+  degrades to the historic rank-level screen: it still flags every
+  exactly-uncorrectable channel, and carrying the coordinates is
+  precisely what removes the over-count.
 """
 
 import numpy as np
@@ -29,15 +28,30 @@ from repro.reliability.analytical import ReliabilityParams
 from repro.reliability.montecarlo import DEVICE_LEVEL_TYPES, _sample_batch
 from repro.util.units import HOURS_PER_YEAR
 
-#: The documented tightness bound of the rank-level screen vs the exact
-#: footprint intersection at SC'12 type mixes (measured ~2x).
-DOCUMENTED_TIGHTNESS_FACTOR = 3.0
-
 YEARS = 7.0
 
 _CODE_MAP = np.array(
     [FAULT_TYPE_ORDER.index(ft) for ft in DEVICE_LEVEL_TYPES]
 )
+
+#: Fault-rate mixes the exactness claim is swept over: the SC'12 field
+#: mix, a small-footprint-heavy mix and a rank-covering-only mix.
+RATE_MIXES = {
+    "field": None,
+    "row-column-heavy": FaultRates(
+        bit=0.0, row=16.0, column=14.0, bank=1.0, device=0.2, lane=0.2
+    ),
+    "device-lane-only": FaultRates(
+        bit=0.0, row=0.0, column=0.0, bank=0.0, device=1.4, lane=2.4
+    ),
+}
+
+
+def _params(multiplier: float, mix: str) -> ReliabilityParams:
+    rates = RATE_MIXES[mix]
+    if rates is None:
+        return ReliabilityParams(rate_multiplier=multiplier)
+    return ReliabilityParams(rate_multiplier=multiplier, rates=rates)
 
 
 def _sample(params, seed, channels):
@@ -45,13 +59,22 @@ def _sample(params, seed, channels):
     return _sample_batch(params, rng, channels, YEARS)
 
 
-def _as_fleet_batch(mc) -> FaultEventBatch:
-    """The fleet view of an MC sample: same faults, rank-level fields.
+def _as_fleet_batch(mc, with_coordinates: bool = True) -> FaultEventBatch:
+    """The fleet view of an MC sample: same faults, same coordinates.
 
     The MC engine simulates one memory channel at a time, so every
-    event's (geometric) channel coordinate is 0; bank/row/column are
-    simply dropped — exactly the information the screen must do without.
+    event's (geometric) channel coordinate is 0. With
+    ``with_coordinates=False`` the bank/row/column arrays are dropped
+    and default to zero — the pre-coordinate wire format the screen
+    must still treat conservatively.
     """
+    coords = {}
+    if with_coordinates:
+        coords = dict(
+            bank=np.asarray(mc.bank, dtype=np.int64),
+            row=np.asarray(mc.row, dtype=np.int64),
+            column=np.asarray(mc.column, dtype=np.int64),
+        )
     batch = FaultEventBatch(
         offsets=np.asarray(mc.offsets, dtype=np.int64),
         time_hours=np.asarray(mc.time_hours, dtype=np.float64),
@@ -59,6 +82,7 @@ def _as_fleet_batch(mc) -> FaultEventBatch:
         channel=np.zeros(len(mc.time_hours), dtype=np.int64),
         rank=np.asarray(mc.rank, dtype=np.int64),
         device=np.asarray(mc.device, dtype=np.int64),
+        **coords,
     )
     batch.validate()
     return batch
@@ -83,58 +107,53 @@ def _exact_uncorrectable(mc, window_hours: float) -> np.ndarray:
     return out
 
 
-class TestScreenIsTrueUpperBound:
+class TestScreenIsExactEverywhere:
+    @pytest.mark.parametrize("mix", sorted(RATE_MIXES))
     @pytest.mark.parametrize("seed", [0xC05C, 17])
     @pytest.mark.parametrize("multiplier", [8.0, 20.0])
     @pytest.mark.parametrize(
         "window_hours", [720.0, HOURS_PER_YEAR * YEARS]
     )
-    def test_screen_flags_every_exact_channel(
-        self, seed, multiplier, window_hours
+    def test_screen_agrees_channel_for_channel(
+        self, mix, seed, multiplier, window_hours
     ):
-        params = ReliabilityParams(rate_multiplier=multiplier)
-        mc = _sample(params, seed, channels=2048)
+        mc = _sample(_params(multiplier, mix), seed, channels=2048)
         screen = uncorrectable_candidate_channels(
             _as_fleet_batch(mc), window_hours
         )
         exact = _exact_uncorrectable(mc, window_hours)
-        missed = np.flatnonzero(exact & ~screen)
-        assert missed.size == 0, (
-            f"screen missed exact-uncorrectable channels {missed[:5]}"
+        diverged = np.flatnonzero(screen != exact)
+        assert diverged.size == 0, (
+            f"{mix}: screen and exact footprints disagree on channels "
+            f"{diverged[:5]}"
         )
 
-    def test_tight_within_documented_factor(self):
-        """At field type mixes the over-count stays under 3x (meas. ~2x)."""
-        params = ReliabilityParams(rate_multiplier=20.0)
-        mc = _sample(params, 0xC05C, channels=4096)
-        fleet = _as_fleet_batch(mc)
-        for window_hours in (1000.0, HOURS_PER_YEAR * YEARS):
-            screen_count = int(
-                uncorrectable_candidate_channels(fleet, window_hours).sum()
-            )
-            exact_count = int(_exact_uncorrectable(mc, window_hours).sum())
-            # Enough mass for the ratio to mean something.
-            assert exact_count >= 50
-            assert screen_count >= exact_count
-            assert screen_count <= DOCUMENTED_TIGHTNESS_FACTOR * exact_count
-
-
-class TestScreenExactOnRankCoveringFaults:
-    def test_device_and_lane_only_populations_agree_exactly(self):
-        """Device/lane footprints cover the whole rank (or channel), so
-        rank-level reasoning *is* exact — the screen's bound is achieved
-        channel for channel, not merely approached."""
-        params = ReliabilityParams(
-            rate_multiplier=400.0,
-            rates=FaultRates(
-                bit=0.0, row=0.0, column=0.0, bank=0.0, device=1.4, lane=2.4
-            ),
-        )
-        mc = _sample(params, 7, channels=2048)
+    def test_exact_channels_are_nontrivial(self):
+        """The sweep exercises real mass, not vacuous agreement."""
+        mc = _sample(_params(20.0, "field"), 0xC05C, channels=4096)
         window_hours = HOURS_PER_YEAR * YEARS
-        screen = uncorrectable_candidate_channels(
-            _as_fleet_batch(mc), window_hours
+        assert int(_exact_uncorrectable(mc, window_hours).sum()) >= 50
+
+
+class TestCoordinateLessBatchesStayConservative:
+    def test_zero_default_coordinates_are_a_true_upper_bound(self):
+        """A pre-coordinate batch (bank/row/column all zero) degrades to
+        the historic rank-level screen: every exactly-uncorrectable
+        channel is still flagged, and the over-count the coordinates
+        remove is visible in the comparison."""
+        mc = _sample(_params(20.0, "field"), 0xC05C, channels=2048)
+        window_hours = HOURS_PER_YEAR * YEARS
+        blind = uncorrectable_candidate_channels(
+            _as_fleet_batch(mc, with_coordinates=False), window_hours
         )
         exact = _exact_uncorrectable(mc, window_hours)
-        assert int(exact.sum()) >= 50
-        assert np.array_equal(screen, exact)
+        missed = np.flatnonzero(exact & ~blind)
+        assert missed.size == 0, (
+            f"coordinate-less screen missed channels {missed[:5]}"
+        )
+        # The blind view over-counts; the coordinate-aware view does not.
+        aware = uncorrectable_candidate_channels(
+            _as_fleet_batch(mc), window_hours
+        )
+        assert int(blind.sum()) > int(exact.sum())
+        assert np.array_equal(aware, exact)

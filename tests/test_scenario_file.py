@@ -120,6 +120,13 @@ class TestLoading:
         assert toml.policies == ("arcc", "sccdcd", "lotecc")
         js = load_scenario_file("examples/scenarios/burnin_study.json")
         assert len(js.scenario.populations[0].schedule) == 2
+        spatial = load_scenario_file(
+            "examples/scenarios/multi-row-cluster.toml"
+        )
+        clustered, control = spatial.scenario.populations
+        assert clustered.spatial.kind == "multi-row-cluster"
+        assert clustered.spatial.fraction == 0.8
+        assert control.spatial is None
 
     def test_unsupported_extension(self, tmp_path):
         path = tmp_path / "tiny.yaml"
