@@ -16,6 +16,9 @@ Subcommands (one per reproducible artifact; see ``docs/user-guide.md``)::
     python -m repro fleet [scenario ...] [--scenario-file PATH]
                           [--policies P1,P2,...] [--measured]
                           [--channels N] [--seed S] [--jobs J] [--list]
+    python -m repro study FILE [--manifest PATH] [--quick]
+                          [--seed S] [--channels N] [--engine E]
+                          [--cache-dir D] [--no-cache] [--jobs J]
     python -m repro all [--quick] [--jobs J]
     python -m repro run [figure ...] [--jobs J] [--quick]
                         [--engine E] [--cache-dir D] [--no-cache]
@@ -72,6 +75,23 @@ bridge of :mod:`repro.fleet.measured`, cache-shared with ``fig7.4
 --measured``); ``--channels`` rescales whole fleets, so 10^5-10^6
 channel populations are practical; ``--seed`` repoints every derived
 RNG stream.
+
+``study`` runs a declarative campaign: a scenario file carrying a
+``[study]`` (alias ``[sweep]``) section that declares sweep axes —
+measurement instruction scales, fault-rate multipliers, memory
+organizations, policy sets, upgraded fractions (schema:
+``docs/scenario-files.md``; example:
+``examples/scenarios/scale_study.toml``). The whole grid compiles into
+one deduplicated job batch (:mod:`repro.fleet.study`), runs through the
+cached parallel runner, and lands in ``--manifest`` (default
+``study_manifest.json``): every report keyed by axis point, with the
+cache key of each underlying job, the code version and the engine
+provenance. The manifest is deterministic — ``--jobs 1`` and ``--jobs
+4`` serialize bit-identically — so campaigns diff across PRs; and
+because every finished job persists to ``--cache-dir`` immediately, a
+killed campaign resumes from the last completed point when re-run
+(``--quick`` shrinks every axis for smoke runs). The ``study`` figure
+key runs the example campaign inside ``repro run``.
 
 ``fuzz`` runs a seeded differential campaign (:mod:`repro.fuzz`): it
 samples ``--count`` random valid scenarios — each a pure function of
@@ -415,6 +435,56 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_study(args: argparse.Namespace) -> None:
+    # Deferred import: keep `repro tables` import-light.
+    from dataclasses import replace
+
+    from repro.fleet import ScenarioFileError, run_study
+    from repro.fleet.study import load_study_file, resolve_study_path
+
+    engine = _resolve_cli_engine(args.engine, "repro study")
+    try:
+        study = load_study_file(resolve_study_path(args.study_file))
+    except OSError as exc:
+        raise SystemExit(f"repro study: {exc}") from exc
+    except ScenarioFileError as exc:
+        raise SystemExit(f"repro study: {exc}") from exc
+    # Explicit flags win over file-level defaults (the `repro fleet`
+    # precedence rule).
+    overrides = {"engine": engine}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.channels is not None:
+        overrides["channels"] = args.channels
+    try:
+        study = replace(study, **overrides)
+    except ValueError as exc:
+        raise SystemExit(f"repro study: {exc}") from exc
+    if args.quick:
+        study = study.quick()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    started = time.perf_counter()
+    result = run_study(
+        study, jobs=args.jobs, cache=cache, manifest_path=args.manifest
+    )
+    elapsed = time.perf_counter() - started
+    for point in result.points:
+        print(f"== {point.point.point_id} ==")
+        print(point.report.to_table())
+        print()
+    print(result.to_table())
+    print(
+        f"[repro study] {len(result.points)} point(s), "
+        f"{result.unique_jobs} unique job(s) "
+        f"({result.total_jobs} before dedup), "
+        f"{result.executed_jobs} executed, {result.cached_jobs} cached, "
+        f"--jobs {args.jobs}, {elapsed:.1f}s "
+        f"(cache: {'off' if cache is None else cache.root}; "
+        f"manifest: {args.manifest})"
+    )
+    print(f"[repro study] {_engine_summary(engine)}")
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     # Deferred import: the registry pulls in every experiment module.
     from repro.runner.registry import FIGURES, build_plans
@@ -647,6 +717,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "study",
+        help="run a declarative [study] campaign from one TOML/JSON file",
+    )
+    p.add_argument(
+        "study_file",
+        metavar="FILE",
+        help=(
+            "scenario file with a [study] (or [sweep]) section "
+            "(schema: docs/scenario-files.md)"
+        ),
+    )
+    p.add_argument(
+        "--manifest",
+        default="study_manifest.json",
+        metavar="PATH",
+        help=(
+            "write the deterministic campaign manifest here "
+            "(default: study_manifest.json)"
+        ),
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke scale: truncate every axis to two values, cap scales",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the fleet seed (default: the study file's)",
+    )
+    p.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="rescale the fleet to this many total channels",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=(
+            "incremental job results; finished jobs persist immediately, "
+            "so a killed campaign resumes from the last completed point"
+        ),
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every job even if cached (campaigns cannot resume)",
+    )
+    _add_engine_flag(p)
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser("all", help="everything, figure by figure")
     p.add_argument("--quick", action="store_true")

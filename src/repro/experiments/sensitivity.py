@@ -285,6 +285,7 @@ def plan_sweep_upgraded_fraction_measured(
     instructions_per_core: int = 40_000,
     seed: int = 0x7ACE,
     engine: str = "auto",
+    config: MemoryConfig = ARCC_MEMORY_CONFIG,
 ) -> ExperimentPlan:
     """The measured fraction sweep as runner jobs: one per (mix, point).
 
@@ -292,7 +293,8 @@ def plan_sweep_upgraded_fraction_measured(
     fractions shared with Table 7.4 (and the fault-free zero point) are
     the *same cached jobs* as Figures 7.1/7.2/7.3's. The engine tier
     resolves at plan time so the cache distinguishes compiled from
-    fallback results.
+    fallback results. ``config`` selects the memory organization under
+    test (study files sweep custom organizations through here).
     """
     mixes = list(mixes) if mixes is not None else list(ALL_MIXES)
     fractions = tuple(fractions)
@@ -306,10 +308,10 @@ def plan_sweep_upgraded_fraction_measured(
     resolved_engine = resolve_engine(engine)
     jobs = [
         Job.create(
-            f"sensitivity[{mix.name}][{fraction:g}]",
+            f"sensitivity[{config.name}][{mix.name}][{fraction:g}]",
             simulate_point_job,
             mix=mix,
-            config=ARCC_MEMORY_CONFIG,
+            config=config,
             upgraded_fraction=fraction,
             instructions_per_core=instructions_per_core,
             seed=seed,
@@ -344,6 +346,7 @@ def run_sweep_upgraded_fraction_measured(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     engine: str = "auto",
+    config: MemoryConfig = ARCC_MEMORY_CONFIG,
 ) -> MeasuredFractionSweep:
     """Run the measured upgraded-fraction sweep."""
     return execute_plan(
@@ -353,6 +356,7 @@ def run_sweep_upgraded_fraction_measured(
             instructions_per_core=instructions_per_core,
             seed=seed,
             engine=engine,
+            config=config,
         ),
         max_workers=jobs,
         cache=cache,

@@ -67,6 +67,7 @@ from repro.fleet.scenario_file import (
     ScenarioFile,
     ScenarioFileError,
     dump_scenario_json,
+    load_raw_mapping,
     load_scenario_file,
     scenario_from_mapping,
     scenario_to_mapping,
@@ -79,6 +80,17 @@ from repro.fleet.scenarios import (
     SpatialFaultModel,
     SubPopulation,
     resolve_scenario,
+)
+from repro.fleet.study import (
+    Study,
+    StudyPoint,
+    StudyPointResult,
+    StudyResult,
+    expand_study,
+    load_study_file,
+    plan_study,
+    run_study,
+    study_from_mapping,
 )
 
 __all__ = [
@@ -101,15 +113,22 @@ __all__ = [
     "ScenarioFile",
     "ScenarioFileError",
     "SpatialFaultModel",
+    "Study",
+    "StudyPoint",
+    "StudyPointResult",
+    "StudyResult",
     "SubPopulation",
     "SubPopulationReport",
     "channel_arrival_rates",
     "clear_measured_memo",
     "dump_scenario_json",
     "empty_batch",
+    "expand_study",
     "faulty_fractions_by_year",
     "fleet_blocks",
+    "load_raw_mapping",
     "load_scenario_file",
+    "load_study_file",
     "measure_scenario_profiles",
     "measured_fault_ratios",
     "measured_policy",
@@ -118,13 +137,16 @@ __all__ = [
     "plan_fleet_compare",
     "plan_fleet_compare_measured",
     "plan_measured_profiles",
+    "plan_study",
     "resolve_policies",
     "run_measured_profiles",
     "resolve_scenario",
     "run_fleet",
     "run_fleet_compare",
+    "run_study",
     "sample_block",
     "sample_fleet",
     "scenario_from_mapping",
     "scenario_to_mapping",
+    "study_from_mapping",
 ]

@@ -96,6 +96,13 @@ _PHASE_KEYS = ("duration_years", "multiplier")
 _SPATIAL_KEYS = ("kind", "fraction", "banks", "rows", "columns")
 
 
+#: Section names that mark a file as a *study* (a campaign over a grid
+#: of scenario variants) rather than a plain scenario. Parsed by
+#: :mod:`repro.fleet.study`; the plain loader rejects them with a
+#: pointer so ``repro fleet`` never silently ignores a declared sweep.
+STUDY_SECTION_KEYS = ("study", "sweep")
+
+
 class ScenarioFileError(ValueError):
     """A scenario file failed validation.
 
@@ -426,6 +433,15 @@ def scenario_from_mapping(
     offending key.
     """
     try:
+        if isinstance(raw, Mapping):
+            for key in STUDY_SECTION_KEYS:
+                if key in raw:
+                    raise _fail(
+                        key,
+                        "this file declares a study campaign; run it with "
+                        "`repro study` (repro.fleet.study.load_study_file), "
+                        "not as a plain scenario",
+                    )
         _check_keys(raw, _TOP_LEVEL_KEYS, "")
         name = _get_str(raw, "name", "")
         description = ""
@@ -517,13 +533,13 @@ def scenario_from_mapping(
     )
 
 
-def load_scenario_file(path: "str | Path") -> ScenarioFile:
-    """Load and validate a ``.toml`` or ``.json`` scenario file.
+def load_raw_mapping(path: "str | Path") -> Mapping[str, Any]:
+    """Parse a ``.toml``/``.json`` file into its raw top-level mapping.
 
-    The format is chosen by file extension. Raises
-    :class:`ScenarioFileError` on validation failures (message prefixed
-    with the file path and the offending key path) and ``OSError`` when
-    the file cannot be read.
+    The shared front half of :func:`load_scenario_file` and the study
+    loader (:func:`repro.fleet.study.load_study_file`): extension
+    dispatch, parse-error wrapping and the top-level-table check, with
+    no schema interpretation.
     """
     path = Path(path)
     suffix = path.suffix.lower()
@@ -550,7 +566,20 @@ def load_scenario_file(path: "str | Path") -> ScenarioFile:
             f"{path}: top level must be a table/object, "
             f"got {_type_name(raw)}"
         )
-    return scenario_from_mapping(raw, source=str(path))
+    return raw
+
+
+def load_scenario_file(path: "str | Path") -> ScenarioFile:
+    """Load and validate a ``.toml`` or ``.json`` scenario file.
+
+    The format is chosen by file extension. Raises
+    :class:`ScenarioFileError` on validation failures (message prefixed
+    with the file path and the offending key path) and ``OSError`` when
+    the file cannot be read. Files carrying a ``[study]``/``[sweep]``
+    section are rejected with a pointer to ``repro study``.
+    """
+    path = Path(path)
+    return scenario_from_mapping(load_raw_mapping(path), source=str(path))
 
 
 def _config_name(config: MemoryConfig) -> str:

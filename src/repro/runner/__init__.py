@@ -12,7 +12,12 @@ import this package).
 """
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, code_version
-from repro.runner.executor import execute_plan, execute_plans, run_jobs
+from repro.runner.executor import (
+    execute_plan,
+    execute_plans,
+    job_identity,
+    run_jobs,
+)
 from repro.runner.job import ExperimentPlan, Job, JobResult, describe_value
 
 __all__ = [
@@ -25,5 +30,6 @@ __all__ = [
     "describe_value",
     "execute_plan",
     "execute_plans",
+    "job_identity",
     "run_jobs",
 ]

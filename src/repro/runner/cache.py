@@ -26,21 +26,42 @@ DEFAULT_CACHE_DIR = RUNNER_CONFIG.cache_dir
 
 _code_version_memo: Optional[str] = None
 
+#: Source patterns folded into :func:`code_version`. ``*.c``/``*.h``
+#: cover the compiled replay kernel (``perf/_kernel/kernel.c``), whose
+#: edits change compiled-tier results just as surely as Python edits do.
+SOURCE_PATTERNS = ("*.py", "*.c", "*.h")
+
+
+def source_tree_digest(root: Path) -> str:
+    """Content hash of every :data:`SOURCE_PATTERNS` file under ``root``.
+
+    Deterministic across checkouts: files are visited in sorted
+    relative-path order and hashed by content, never by mtime.
+    """
+    digest = hashlib.sha256()
+    paths = sorted(
+        path
+        for pattern in SOURCE_PATTERNS
+        for path in root.rglob(pattern)
+    )
+    for path in paths:
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
 
 def code_version() -> str:
-    """Hash of every ``.py`` source file in the ``repro`` package.
+    """Hash of every source file (``.py``/``.c``/``.h``) in ``repro``.
 
     Computed once per process. Content-based (not mtime-based), so a
-    fresh checkout of the same revision reuses caches produced elsewhere.
+    fresh checkout of the same revision reuses caches produced elsewhere,
+    and a one-byte edit to the compiled kernel's C source invalidates
+    every cached result exactly like a Python edit.
     """
     global _code_version_memo
     if _code_version_memo is None:
         package_root = Path(__file__).resolve().parent.parent
-        digest = hashlib.sha256()
-        for path in sorted(package_root.rglob("*.py")):
-            digest.update(str(path.relative_to(package_root)).encode())
-            digest.update(path.read_bytes())
-        _code_version_memo = digest.hexdigest()[:16]
+        _code_version_memo = source_tree_digest(package_root)
     return _code_version_memo
 
 
@@ -105,10 +126,15 @@ class ResultCache:
             raise
 
     def clear(self) -> int:
-        """Delete every cached result; returns the number removed."""
+        """Delete every cached result; returns the number removed.
+
+        Tolerates concurrent clears: an entry removed by another process
+        between the directory listing and the unlink is simply not
+        counted, never an error.
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
-                path.unlink()
+                path.unlink(missing_ok=True)
                 removed += 1
         return removed

@@ -16,7 +16,7 @@ from __future__ import annotations
 import inspect
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.cache import ResultCache
@@ -24,7 +24,7 @@ from repro.runner.job import ExperimentPlan, Job, JobResult
 from repro.util.rng import derive_seeds
 
 
-def _job_identity(job: Job) -> str:
+def job_identity(job: Job) -> str:
     """Canonical identity of a job's *computation* (name excluded).
 
     Two jobs with the same callable, configuration and seed compute the
@@ -100,27 +100,36 @@ def run_jobs(
             if hit:
                 results[index] = JobResult(job.name, value, cached=True)
                 continue
-        identity = _job_identity(job)
+        identity = job_identity(job)
         representative = first_by_identity.setdefault(identity, index)
         if representative != index:
             duplicates[index] = representative
         else:
             pending.append(index)
 
+    def complete(index: int, value: Any, seconds: float) -> None:
+        # Persist each result the moment it exists, not after the whole
+        # batch succeeds: if a later job raises (or the process is
+        # killed), everything already computed survives in the cache and
+        # the rerun resumes from the last finished point.
+        results[index] = JobResult(jobs[index].name, value, seconds)
+        if cache is not None:
+            cache.put(jobs[index], value)
+
     if max_workers <= 1 or len(pending) <= 1:
         for index in pending:
             value, seconds = _call_job(jobs[index])
-            results[index] = JobResult(jobs[index].name, value, seconds)
+            complete(index, value, seconds)
     else:
         workers = min(max_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                index: pool.submit(_call_job, jobs[index])
+                pool.submit(_call_job, jobs[index]): index
                 for index in pending
             }
-            for index, future in futures.items():
+            for future in as_completed(futures):
                 value, seconds = future.result()
-                results[index] = JobResult(jobs[index].name, value, seconds)
+                complete(futures[future], value, seconds)
 
     for index, representative in duplicates.items():
         shared = results[representative]
@@ -128,9 +137,6 @@ def run_jobs(
         results[index] = JobResult(
             jobs[index].name, shared.value, cached=True
         )
-    if cache is not None:
-        for index in pending:
-            cache.put(jobs[index], results[index].value)
     return [result for result in results if result is not None]
 
 

@@ -28,6 +28,7 @@ from repro.fleet import (
     plan_fleet,
     plan_fleet_compare,
     plan_fleet_compare_measured,
+    plan_study,
 )
 from repro.fuzz import plan_campaign
 from repro.runner.job import ExperimentPlan
@@ -183,6 +184,21 @@ FIGURES: Dict[str, FigureSpec] = {
                 "scenario": "mixed-generations",
                 "channels": 2_000,
                 "instructions_per_core": 10_000,
+            },
+            engine_aware=True,
+        ),
+        # The example study campaign (docs/scenario-files.md): a
+        # declarative grid over the fleet machinery, deduplicated into
+        # one plan. `repro study FILE` runs arbitrary study files; this
+        # key keeps the example grid inside the `repro run` sweep.
+        FigureSpec(
+            "study",
+            "Study campaign: example scale-study grid",
+            plan_study,
+            defaults={"path": "examples/scenarios/scale_study.toml"},
+            quick={
+                "path": "examples/scenarios/scale_study.toml",
+                "quick": True,
             },
             engine_aware=True,
         ),

@@ -41,17 +41,23 @@ def confidence_interval(
 
     NumPy arrays take a vectorized path (population statistics over
     10^5-10^6 Monte-Carlo channels would be too slow in pure Python);
-    both paths compute the same unbiased-variance interval.
+    both paths compute the same unbiased-variance interval. A
+    multi-dimensional array is treated as the flat sample vector its
+    ``.mean()``/``.var()`` already imply, so ``n`` is ``values.size``,
+    never the leading-axis length.
     """
-    n = len(values)
-    if n == 0:
-        raise ValueError("confidence_interval of empty sequence")
     if isinstance(values, np.ndarray):
+        n = int(values.size)
+        if n == 0:
+            raise ValueError("confidence_interval of empty sequence")
         mean = float(values.mean())
         if n == 1:
             return mean, 0.0
         var = float(values.var(ddof=1))
         return mean, z * math.sqrt(var / n)
+    n = len(values)
+    if n == 0:
+        raise ValueError("confidence_interval of empty sequence")
     mean = sum(values) / n
     if n == 1:
         return mean, 0.0

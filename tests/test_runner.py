@@ -27,6 +27,15 @@ def _record(x, seed=0, path=None):
     return x + seed
 
 
+def _boom(x, seed=0):
+    raise RuntimeError("boom")
+
+
+def _seed_from_kwargs(**kwargs):
+    """Callable that only takes **kwargs (no named ``seed`` parameter)."""
+    return kwargs.get("seed")
+
+
 class TestJob:
     def test_create_sorts_config(self):
         a = Job.create("j", _square, x=1)
@@ -94,6 +103,18 @@ class TestRunJobs:
         (result,) = run_jobs(jobs, base_seed=42)
         assert result.value == 5
 
+    def test_base_seed_reaches_kwargs_only_callables(self):
+        """``**kwargs`` counts as accepting ``seed`` — wrapper callables
+        (e.g. partial-style shims) must still get deterministic seeds."""
+        (result,) = run_jobs(
+            [Job.create("j", _seed_from_kwargs)], base_seed=9
+        )
+        assert result.value is not None
+        (again,) = run_jobs(
+            [Job.create("j", _seed_from_kwargs)], base_seed=9
+        )
+        assert again.value == result.value
+
     def test_base_seed_skips_seedless_callables(self):
         """Jobs whose fn takes no ``seed`` kwarg must not be crashed by
         base_seed injection (e.g. Monte-Carlo block jobs carry their
@@ -146,6 +167,135 @@ class TestResultCache:
             path.write_bytes(b"not a pickle")
         hit, _ = cache.get(job)
         assert not hit
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        """A torn write (e.g. the process was killed mid-copy of the
+        cache directory) must read as a miss and then heal on rerun."""
+        cache = ResultCache(tmp_path / "cache")
+        job = Job.create("j", _square, x=5)
+        run_jobs([job], cache=cache)
+        for path in (tmp_path / "cache").glob("*.pkl"):
+            path.write_bytes(path.read_bytes()[:3])
+        hit, _ = cache.get(job)
+        assert not hit
+        (result,) = run_jobs([job], cache=cache)
+        assert not result.cached and result.value == 25
+        hit, value = cache.get(job)
+        assert hit and value == 25
+
+    def test_clear_tolerates_concurrent_removal(self, tmp_path, monkeypatch):
+        """An entry unlinked by another process between the directory
+        listing and the unlink must not crash ``clear()``."""
+        from pathlib import Path
+
+        cache = ResultCache(tmp_path / "cache")
+        for x in range(3):
+            run_jobs([Job.create("j", _square, x=x)], cache=cache)
+        real_glob = Path.glob
+
+        def racing_glob(self, pattern):
+            paths = list(real_glob(self, pattern))
+            paths[0].unlink()  # a concurrent clear got there first
+            return iter(paths)
+
+        monkeypatch.setattr(Path, "glob", racing_glob)
+        assert cache.clear() == 3
+        monkeypatch.undo()
+        assert cache.get(Job.create("j", _square, x=0)) == (False, None)
+
+
+class TestCrashSafety:
+    """Every finished job persists immediately — a failing job (or a
+    killed process) must not discard the batch's completed work."""
+
+    def test_results_persist_before_batch_failure(self, tmp_path):
+        log = tmp_path / "calls.log"
+        cache = ResultCache(tmp_path / "cache")
+        good = [
+            Job.create(f"g{i}", _record, x=i, path=str(log))
+            for i in range(3)
+        ]
+        bad = Job.create("bad", _boom, x=0)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_jobs(good + [bad], max_workers=1, cache=cache)
+        assert len(log.read_text().splitlines()) == 3  # all ran...
+        rerun = run_jobs(good, cache=cache)
+        assert all(result.cached for result in rerun)  # ...and survived
+        assert len(log.read_text().splitlines()) == 3  # none re-ran
+
+    def test_failed_job_runs_again(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        bad = Job.create("bad", _boom, x=0)
+        with pytest.raises(RuntimeError):
+            run_jobs([bad], cache=cache)
+        # Failures are never cached: the retry really retries.
+        with pytest.raises(RuntimeError):
+            run_jobs([bad], cache=cache)
+
+
+class TestSourceTreeDigest:
+    """code_version() must see compiled-kernel sources, not just .py."""
+
+    def _tree(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        kernel = tmp_path / "_kernel"
+        kernel.mkdir()
+        (kernel / "kernel.c").write_text("int replay(void) { return 1; }\n")
+        (kernel / "kernel.h").write_text("int replay(void);\n")
+        return kernel
+
+    def test_patterns_cover_compiled_sources(self):
+        from repro.runner.cache import SOURCE_PATTERNS
+
+        assert "*.c" in SOURCE_PATTERNS
+        assert "*.h" in SOURCE_PATTERNS
+
+    def test_kernel_c_edit_changes_digest(self, tmp_path):
+        from repro.runner.cache import source_tree_digest
+
+        kernel = self._tree(tmp_path)
+        before = source_tree_digest(tmp_path)
+        (kernel / "kernel.c").write_text("int replay(void) { return 2; }\n")
+        assert source_tree_digest(tmp_path) != before
+
+    def test_header_edit_changes_digest(self, tmp_path):
+        from repro.runner.cache import source_tree_digest
+
+        kernel = self._tree(tmp_path)
+        before = source_tree_digest(tmp_path)
+        (kernel / "kernel.h").write_text("int replay(int n);\n")
+        assert source_tree_digest(tmp_path) != before
+
+    def test_non_source_files_ignored(self, tmp_path):
+        from repro.runner.cache import source_tree_digest
+
+        self._tree(tmp_path)
+        before = source_tree_digest(tmp_path)
+        (tmp_path / "README.md").write_text("docs\n")
+        (tmp_path / "mod.pyc").write_bytes(b"\x00bytecode")
+        assert source_tree_digest(tmp_path) == before
+
+    def test_deterministic_across_calls(self, tmp_path):
+        from repro.runner.cache import source_tree_digest
+
+        self._tree(tmp_path)
+        assert source_tree_digest(tmp_path) == source_tree_digest(tmp_path)
+
+    def test_package_digest_includes_kernel_source(self):
+        """The live package's kernel.c actually participates."""
+        from pathlib import Path
+
+        import repro
+        from repro.runner.cache import SOURCE_PATTERNS
+
+        package_root = Path(repro.__file__).resolve().parent
+        c_sources = [
+            p
+            for pattern in SOURCE_PATTERNS
+            for p in package_root.rglob(pattern)
+            if p.suffix in (".c", ".h")
+        ]
+        assert c_sources, "expected compiled kernel sources in the package"
 
 
 class TestPlans:

@@ -85,6 +85,30 @@ class TestConfidenceInterval:
         with pytest.raises(ValueError):
             confidence_interval(np.array([]))
 
+    def test_two_dimensional_counts_elements_not_rows(self):
+        """Regression: ``len(values)`` on a 2-D array counts rows, which
+        understated n and inflated the half-width; ``values.size`` counts
+        elements."""
+        arr = np.arange(12, dtype=float).reshape(3, 4)
+        mean, half = confidence_interval(arr)
+        flat_mean, flat_half = confidence_interval(arr.ravel())
+        assert mean == pytest.approx(flat_mean)
+        assert half == pytest.approx(flat_half)
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=4, max_size=40),
+        st.integers(2, 4),
+    )
+    def test_any_shape_matches_ravel(self, values, cols):
+        values = values[: len(values) // cols * cols]
+        if not values:
+            return
+        arr = np.array(values).reshape(-1, cols)
+        shaped = confidence_interval(arr)
+        flat = confidence_interval(arr.ravel())
+        assert shaped[0] == pytest.approx(flat[0], rel=1e-9, abs=1e-9)
+        assert shaped[1] == pytest.approx(flat[1], rel=1e-9, abs=1e-9)
+
 
 class TestConfidenceIntervalFromMoments:
     @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=40))
